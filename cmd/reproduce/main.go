@@ -1,0 +1,216 @@
+// Command reproduce runs every experiment of the paper in sequence
+// and prints the tables and figures of EXPERIMENTS.md: Table I,
+// Figures 1 and 3–8, Tables II and III, and the headline throughput.
+//
+// Usage:
+//
+//	reproduce [-exp all|headline|F1|F3|F4|F5|F6|F7|F8|T1|T2|T3] [-fast]
+//
+// -fast shrinks the statistical batteries (T2/T3) to smoke-test
+// sizes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/baselines"
+	"repro/internal/bitsource"
+	"repro/internal/core"
+	"repro/internal/diehard"
+	"repro/internal/gpu"
+	"repro/internal/hybrid"
+	"repro/internal/rng"
+	"repro/internal/testu01"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, headline, F1, F3..F8, T1..T3; extras: ablation, expander)")
+	fast := flag.Bool("fast", false, "smoke-test sizes for the statistical batteries")
+	flag.Parse()
+
+	run := func(id string) bool { return *exp == "all" || strings.EqualFold(*exp, id) }
+
+	if run("headline") {
+		headline()
+	}
+	if run("F1") {
+		figure1()
+	}
+	if run("T1") {
+		delegate("prngbench", "-table1")
+	}
+	if run("F3") {
+		delegate("prngbench", "-figure3")
+	}
+	if run("F4") {
+		delegate("prngbench", "-figure4")
+	}
+	if run("F5") {
+		delegate("prngbench", "-figure5")
+	}
+	if run("F6") {
+		delegate("prngbench", "-figure6")
+	}
+	if run("T2") {
+		table2(*fast)
+	}
+	if run("T3") {
+		table3(*fast)
+	}
+	if run("F7") {
+		delegate("listrank")
+	}
+	if run("F8") {
+		delegate("photonmc")
+	}
+	// Extras run only when named explicitly (they are beyond the
+	// paper's tables/figures).
+	if strings.EqualFold(*exp, "ablation") {
+		delegate("ablation")
+	}
+	if strings.EqualFold(*exp, "expander") {
+		delegate("expander")
+	}
+}
+
+// delegate runs a sibling tool in-process via `go run` when built
+// from source, or the installed binary when on PATH; falling back to
+// `go run ./cmd/<tool>` keeps the command usable from a source
+// checkout.
+func delegate(tool string, args ...string) {
+	if path, err := exec.LookPath(tool); err == nil {
+		cmd := exec.Command(path, args...)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Run(); err == nil {
+			return
+		}
+	}
+	cmd := exec.Command("go", append([]string{"run", "./cmd/" + tool}, args...)...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintf(os.Stderr, "reproduce: %s: %v\n", tool, err)
+		os.Exit(1)
+	}
+}
+
+func headline() {
+	fmt.Println("== Headline: generator throughput ==")
+	p, err := hybrid.NewPlatform(hybrid.DefaultCostModel())
+	if err != nil {
+		die(err)
+	}
+	rep, err := p.GenerateHybrid(50_000_000, 100)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("simulated platform: %.4f GNumbers/s (paper: 0.07)\n\n", rep.ThroughputGNs())
+}
+
+func figure1() {
+	fmt.Println("== Figure 1: pure-device vs hybrid schedule ==")
+	const n = 2_000_000
+	ps, err := hybrid.NewPlatform(hybrid.DefaultCostModel())
+	if err != nil {
+		die(err)
+	}
+	serial, err := ps.PureDeviceSerialHybrid(n, 100)
+	if err != nil {
+		die(err)
+	}
+	po, _ := hybrid.NewPlatform(hybrid.DefaultCostModel())
+	overlap, err := po.GenerateHybrid(n, 100)
+	if err != nil {
+		die(err)
+	}
+	fmt.Printf("serial (no overlap): %8.2f ms, CPU busy %2.0f%%, GPU busy %2.0f%%\n",
+		serial.SimNs/1e6, 100*serial.CPUUtil, 100*serial.GPUUtil)
+	fmt.Printf("hybrid (pipelined):  %8.2f ms, CPU busy %2.0f%%, GPU busy %2.0f%%\n",
+		overlap.SimNs/1e6, 100*overlap.CPUUtil, 100*overlap.GPUUtil)
+	fmt.Println("\npipelined timeline (first iterations; F=feed, T=transfer, G=generate):")
+	fmt.Println(miniTimeline())
+}
+
+// miniTimeline renders a short hybrid schedule for the Figure 1/4
+// visual.
+func miniTimeline() string {
+	sim := gpu.NewSim()
+	dev, err := gpu.NewDevice(sim, gpu.TeslaC1060())
+	if err != nil {
+		die(err)
+	}
+	host, err := gpu.NewHost(sim, "cpu")
+	if err != nil {
+		die(err)
+	}
+	model := hybrid.DefaultCostModel()
+	feedStream := dev.NewStream(0)
+	genStream := dev.NewStream(0)
+	var feedReady gpu.Time
+	threads := 50_000
+	perIter := int64(model.FeedBytesPerNumber() * float64(threads))
+	for i := 0; i < 6; i++ {
+		f := host.Compute("F", feedReady, model.FeedChunkOverheadNs+float64(perIter)/model.FeedBytesPerSec*1e9)
+		feedReady = f.End
+		feedStream.WaitFor(f.End)
+		tr := feedStream.CopyH2D("T", perIter)
+		genStream.WaitFor(tr.End)
+		genStream.Launch(gpu.Kernel{Name: "G", Threads: threads, CyclesPerThread: model.GenCyclesPerNumber()})
+	}
+	return sim.TimelineString(92)
+}
+
+func newGenerator(name string, seed uint64) (rng.Source, error) {
+	switch name {
+	case "hybrid-prng":
+		return core.NewWalker(bitsource.Glibc(uint32(seed)), core.Config{})
+	default:
+		return baselines.New(name, seed)
+	}
+}
+
+func table2(fast bool) {
+	fmt.Println("== Table II: DIEHARD battery ==")
+	scale := 1.0
+	if fast {
+		scale = 0.25
+	}
+	fmt.Printf("%-24s %-12s %s\n", "Algorithm", "Tests", "KS-Test D")
+	for _, name := range []string{"hybrid-prng", "md5-cudpp", "mt19937", "xorwow", "glibc-rand32"} {
+		src, err := newGenerator(name, 20120521)
+		if err != nil {
+			die(err)
+		}
+		out := diehard.RunBattery(name, src, diehard.Config{Scale: scale})
+		fmt.Printf("%-24s %2d/%-9d %.4f\n", name, out.Passed, out.Total, out.KS.D)
+	}
+	fmt.Println()
+}
+
+func table3(fast bool) {
+	fmt.Println("== Table III: TestU01-style batteries ==")
+	batteries := testu01.Batteries()
+	if fast {
+		batteries = batteries[:1]
+	}
+	fmt.Printf("%-14s %-12s %s\n", "PRNG", "Test Suite", "Tests Passed")
+	for _, name := range []string{"xorwow", "mt19937", "hybrid-prng"} {
+		for _, b := range batteries {
+			src, err := newGenerator(name, 20120521)
+			if err != nil {
+				die(err)
+			}
+			out := b.Run(name, src)
+			fmt.Printf("%-14s %-12s %d/%d\n", name, b.Name, out.Passed, out.Total)
+		}
+	}
+	fmt.Println()
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Monte Carlo π: many goroutines drawing on demand from private
+// walkers — the thread-safety and on-demand properties of the paper
+// in the smallest possible application. The sample count per
+// goroutine is decided while running (keep sampling until the
+// global budget runs out), which a pre-generated buffer cannot do.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	hybridprng "repro"
+)
+
+func main() {
+	const (
+		workers = 8
+		budget  = 4_000_000 // total darts, claimed dynamically
+		chunk   = 10_000
+	)
+	pool, err := hybridprng.NewParallel(workers, hybridprng.WithSeed(314159))
+	if err != nil {
+		panic(err)
+	}
+
+	var remaining atomic.Int64
+	remaining.Store(budget)
+	var inside, sampledDarts atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(g *hybridprng.Generator) {
+			defer wg.Done()
+			for {
+				// Claim work on demand — nobody pre-computed how
+				// many numbers this goroutine would need.
+				if remaining.Add(-chunk) < 0 {
+					return
+				}
+				hits := int64(0)
+				for i := 0; i < chunk; i++ {
+					x := g.Float64()
+					y := g.Float64()
+					if x*x+y*y < 1 {
+						hits++
+					}
+				}
+				inside.Add(hits)
+				sampledDarts.Add(chunk)
+			}
+		}(pool.Worker(w))
+	}
+	wg.Wait()
+
+	sampled := sampledDarts.Load()
+	estimate := 4 * float64(inside.Load()) / float64(sampled)
+	fmt.Printf("darts: %d across %d goroutines\n", sampled, workers)
+	fmt.Printf("π ≈ %.6f (error %.6f)\n", estimate, math.Abs(estimate-math.Pi))
+	fmt.Printf("numbers drawn on demand: %d\n", pool.Generated())
+}

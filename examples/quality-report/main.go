@@ -1,0 +1,43 @@
+// Quality report: run a reduced DIEHARD battery and SmallCrush over
+// the hybrid generator and print the per-test verdicts — the
+// library's self-test, and a template for validating any custom
+// rng.Source.
+package main
+
+import (
+	"fmt"
+
+	hybridprng "repro"
+	"repro/internal/diehard"
+	"repro/internal/testu01"
+)
+
+func main() {
+	g, err := hybridprng.New(hybridprng.WithSeed(20120521))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("DIEHARD battery (reduced sizes) on hybrid-prng:")
+	out := diehard.RunBattery("hybrid-prng", g, diehard.Config{Scale: 0.5})
+	for _, r := range out.Results {
+		verdict := "pass"
+		if !r.Passed(0.01, 0.99) {
+			verdict = "FAIL"
+		}
+		fmt.Printf("  %-26s %-4s p=%.4f\n", r.Name, verdict, r.P())
+	}
+	fmt.Printf("=> %d/%d passed, KS D = %.4f\n\n", out.Passed, out.Total, out.KS.D)
+
+	fmt.Println("TestU01 SmallCrush on hybrid-prng:")
+	g2, _ := hybridprng.New(hybridprng.WithSeed(20120522))
+	sc := testu01.SmallCrush().Run("hybrid-prng", g2)
+	for _, r := range sc.Results {
+		verdict := "pass"
+		if !r.Passed(0.001, 0.999) {
+			verdict = "FAIL"
+		}
+		fmt.Printf("  %-26s %-4s p=%.4f\n", r.Name, verdict, r.P())
+	}
+	fmt.Printf("=> %d/%d passed\n", sc.Passed, sc.Total)
+}

@@ -1,0 +1,43 @@
+// Quickstart: create the on-demand generator, draw values in every
+// supported flavour, and plug it into math/rand.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	hybridprng "repro"
+)
+
+func main() {
+	// Reproducible generator (omit WithSeed for an entropy seed).
+	g, err := hybridprng.New(hybridprng.WithSeed(2012))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("on-demand draws (no pre-generated buffer):")
+	for i := 0; i < 4; i++ {
+		fmt.Printf("  Uint64  -> %#016x\n", g.Uint64())
+	}
+	fmt.Printf("  Float64 -> %.6f\n", g.Float64())
+	fmt.Printf("  Intn(6) -> %d (a die roll)\n", g.Intn(6)+1)
+	fmt.Printf("  Normal  -> %+.4f\n", g.NormFloat64())
+
+	// The current expander vertex IS the last value.
+	fmt.Printf("walk position: %v\n", g.Position())
+
+	// Use it as a math/rand source.
+	r := rand.New(g.MathRandSource())
+	fmt.Printf("via math/rand: Perm(8) = %v\n", r.Perm(8))
+
+	// Batch mode: fill a slice, sharded across independent walkers.
+	p, err := hybridprng.NewParallel(4, hybridprng.WithSeed(2012))
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]uint64, 8)
+	p.Fill(buf)
+	fmt.Printf("parallel fill:  %x\n", buf)
+	fmt.Printf("numbers generated so far: %d\n", g.Generated()+p.Generated())
+}

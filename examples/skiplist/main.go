@@ -1,0 +1,129 @@
+// Skip list: a classic randomised data structure whose balance
+// depends entirely on its coin flips — a natural consumer of the
+// on-demand generator (you cannot know in advance how many coins an
+// insertion sequence needs). The example builds a skip list over the
+// hybrid PRNG, verifies ordering and search, and reports the level
+// distribution against its geometric expectation.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	hybridprng "repro"
+)
+
+const maxLevel = 16
+
+type node struct {
+	key   int
+	level int
+	next  [maxLevel]*node
+}
+
+type skipList struct {
+	head  node
+	level int
+	coins *hybridprng.Generator
+	size  int
+}
+
+// randomLevel flips fair coins on demand: level k with probability
+// 2^-k.
+func (s *skipList) randomLevel() int {
+	lvl := 1
+	for lvl < maxLevel && s.coins.Uint64()&1 == 1 {
+		lvl++
+	}
+	return lvl
+}
+
+func (s *skipList) insert(key int) {
+	var update [maxLevel]*node
+	cur := &s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for cur.next[i] != nil && cur.next[i].key < key {
+			cur = cur.next[i]
+		}
+		update[i] = cur
+	}
+	lvl := s.randomLevel()
+	for i := s.level; i < lvl; i++ {
+		update[i] = &s.head
+	}
+	if lvl > s.level {
+		s.level = lvl
+	}
+	n := &node{key: key, level: lvl}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.size++
+}
+
+func (s *skipList) contains(key int) bool {
+	cur := &s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for cur.next[i] != nil && cur.next[i].key < key {
+			cur = cur.next[i]
+		}
+	}
+	cur = cur.next[0]
+	return cur != nil && cur.key == key
+}
+
+func main() {
+	g, err := hybridprng.New(hybridprng.WithSeed(1998)) // Pugh's year, give or take
+	if err != nil {
+		panic(err)
+	}
+	s := &skipList{coins: g}
+
+	// Insert a shuffled range.
+	const n = 100_000
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = i * 2 // even keys only
+	}
+	shuffler, _ := hybridprng.New(hybridprng.WithSeed(1999))
+	shuffler.Shuffle(n, func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+	for _, k := range keys {
+		s.insert(k)
+	}
+
+	// Verify ordering along level 0.
+	prev := math.MinInt
+	count := 0
+	for cur := s.head.next[0]; cur != nil; cur = cur.next[0] {
+		if cur.key <= prev {
+			panic("skip list out of order")
+		}
+		prev = cur.key
+		count++
+	}
+	fmt.Printf("inserted %d keys, ordered traversal verified (%d nodes)\n", n, count)
+
+	// Search: all even keys present, all odd keys absent.
+	for i := 0; i < 1000; i++ {
+		if !s.contains(i * 2) {
+			panic("present key not found")
+		}
+		if s.contains(i*2 + 1) {
+			panic("absent key found")
+		}
+	}
+	fmt.Println("1000 positive and 1000 negative searches verified")
+
+	// Level histogram vs the geometric law.
+	levels := make([]int, maxLevel+1)
+	for cur := s.head.next[0]; cur != nil; cur = cur.next[0] {
+		levels[cur.level]++
+	}
+	fmt.Println("level distribution (observed vs 2^-k expectation):")
+	for k := 1; k <= 6; k++ {
+		expected := float64(n) * math.Pow(0.5, float64(k))
+		fmt.Printf("  level %d: %6d observed, %8.0f expected\n", k, levels[k], expected)
+	}
+	fmt.Printf("coins drawn on demand: %d (≈ 2 per key)\n", g.Generated())
+}

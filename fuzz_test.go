@@ -1,0 +1,78 @@
+package hybridprng
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalBinaryNeverPanics feeds arbitrary blobs to the state
+// decoder: every input must yield an error or a usable generator,
+// never a panic or a broken one.
+func FuzzUnmarshalBinaryNeverPanics(f *testing.F) {
+	g, _ := New(WithSeed(1))
+	g.Uint64()
+	blob, _ := g.MarshalBinary()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte("hprng"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 200))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := new(Generator)
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// A successful decode must produce a working generator.
+		r.Uint64()
+		r.Float64()
+	})
+}
+
+// FuzzCheckpointRoundTrip marshals after a fuzzed number of draws
+// and checks the restored stream continues identically.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint16(0))
+	f.Add(uint64(42), uint16(97))
+	f.Add(uint64(1<<63), uint16(999))
+	f.Fuzz(func(t *testing.T, seed uint64, drawsRaw uint16) {
+		draws := int(drawsRaw) % 300
+		g, err := New(WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < draws; i++ {
+			g.Uint64()
+		}
+		blob, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := new(Generator)
+		if err := r.UnmarshalBinary(blob); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if g.Uint64() != r.Uint64() {
+				t.Fatal("restored stream diverged")
+			}
+		}
+	})
+}
+
+// FuzzOptionsNeverPanic exercises the constructor across fuzzed
+// option values: invalid combinations must error, not panic.
+func FuzzOptionsNeverPanic(f *testing.F) {
+	f.Add(int64(64), int64(64), uint64(0))
+	f.Add(int64(-5), int64(0), uint64(9))
+	f.Add(int64(1), int64(1000), uint64(1))
+	f.Fuzz(func(t *testing.T, walk, initWalk int64, seed uint64) {
+		g, err := New(
+			WithWalkLength(int(walk%10000)),
+			WithInitWalkLength(int(initWalk%10000)),
+			WithSeed(seed),
+		)
+		if err != nil {
+			return
+		}
+		g.Uint64()
+	})
+}

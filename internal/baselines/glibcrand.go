@@ -1,0 +1,121 @@
+package baselines
+
+// GlibcRand re-implements glibc's random() in its default TYPE_3
+// configuration: an additive lagged-Fibonacci generator of degree 31
+// with separation 3, seeded by a MINSTD LCG pass, discarding the
+// first 310 outputs exactly as glibc's initstate() does.
+//
+// In flattened form the stream is
+//
+//	r[0]      = seed
+//	r[1..30]  = 16807·r[i-1] mod 2^31-1
+//	r[31..33] = r[i-31]
+//	r[i]      = r[i-31] + r[i-3]   (mod 2^32)   for i ≥ 34
+//	output_n  = r[n+344] >> 1
+//
+// The output stream is bit-identical to glibc: srandom(1) yields
+// 1804289383, 846930886, 1681692777, ...  This matters because the
+// paper's Table II "glibc rand()" row and its FEED work unit both use
+// this exact generator.
+type GlibcRand struct {
+	buf [34]uint32 // last 34 values of the flattened recurrence
+	k   int        // index (mod 34) of the next value to write
+}
+
+// NewGlibcRand returns a generator in the state srandom(seed) leaves
+// glibc's default generator in.
+func NewGlibcRand(seed uint32) *GlibcRand {
+	g := &GlibcRand{}
+	g.srandom(seed)
+	return g
+}
+
+func (g *GlibcRand) srandom(seed uint32) {
+	if seed == 0 {
+		seed = 1 // glibc maps seed 0 to 1
+	}
+	g.buf[0] = seed
+	for i := 1; i < 31; i++ {
+		// 16807 · r[i-1] mod 2^31-1, kept non-negative; 64-bit
+		// arithmetic replaces glibc's Schrage trick.
+		v := int64(int32(g.buf[i-1])) * 16807 % 2147483647
+		if v < 0 {
+			v += 2147483647
+		}
+		g.buf[i] = uint32(v)
+	}
+	for i := 31; i < 34; i++ {
+		g.buf[i] = g.buf[i-31]
+	}
+	g.k = 34 % 34 // next value to write is r[34], stored at slot 0
+	// glibc discards the first 310 outputs (r[34..343]); the first
+	// value handed to the caller is r[344] >> 1.
+	for i := 0; i < 310; i++ {
+		g.step()
+	}
+}
+
+// step generates the next value r[i] = r[i-31] + r[i-3] of the
+// recurrence and returns it (before the output shift).
+func (g *GlibcRand) step() uint32 {
+	// Slot layout: g.buf holds r[i-34..i-1]; with write cursor k
+	// (= i mod 34), r[i-31] sits at (k+3) mod 34 and r[i-3] at
+	// (k+31) mod 34.
+	v := g.buf[(g.k+3)%34] + g.buf[(g.k+31)%34]
+	g.buf[g.k] = v
+	g.k = (g.k + 1) % 34
+	return v
+}
+
+// Random returns the next output of random(): a 31-bit non-negative
+// value.
+func (g *GlibcRand) Random() int32 {
+	return int32(g.step() >> 1)
+}
+
+// Uint64 assembles a 64-bit word from three 31-bit outputs (93 bits
+// drawn, the surplus discarded), preserving the generator's native
+// statistical signature.
+func (g *GlibcRand) Uint64() uint64 {
+	a := uint64(uint32(g.Random()))
+	b := uint64(uint32(g.Random()))
+	c := uint64(uint32(g.Random()))
+	return a<<33 | b<<2 | c&3
+}
+
+// Seed implements rng.Seeder.
+func (g *GlibcRand) Seed(seed uint64) {
+	*g = GlibcRand{}
+	g.srandom(uint32(seed))
+}
+
+// Name implements rng.Named.
+func (g *GlibcRand) Name() string { return "glibc-rand" }
+
+// GlibcRand32 is glibc random() used the way applications naively
+// use it: each 32-bit lane is one random() return value, whose top
+// bit is always zero (random() yields 31 bits). This is the honest
+// "glibc rand()" row of a 32-bit battery — the stuck bit makes it
+// fail binary-rank, monkey and bit-count tests en masse, matching
+// the paper's Table II row for glibc rand().
+type GlibcRand32 struct {
+	GlibcRand
+}
+
+// NewGlibcRand32 returns the naive-usage wrapper.
+func NewGlibcRand32(seed uint32) *GlibcRand32 {
+	g := &GlibcRand32{}
+	g.srandom(seed)
+	return g
+}
+
+// Uint64 packs two raw random() outputs as two 32-bit lanes, stuck
+// top bits included.
+func (g *GlibcRand32) Uint64() uint64 {
+	hi := uint64(uint32(g.Random()))
+	lo := uint64(uint32(g.Random()))
+	return hi<<32 | lo
+}
+
+// Name implements rng.Named.
+func (g *GlibcRand32) Name() string { return "glibc-rand32" }

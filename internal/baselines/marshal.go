@@ -1,0 +1,96 @@
+package baselines
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary state encodings for the generators used as hybrid-PRNG
+// feeds, so a Generator can be checkpointed and restored exactly
+// (encoding.BinaryMarshaler / encoding.BinaryUnmarshaler). Formats
+// are versioned little-endian: [tag byte][version byte][payload].
+
+const (
+	tagGlibc    = 0x01
+	tagANSIC    = 0x02
+	tagSplitMix = 0x03
+	stateV1     = 1
+)
+
+func header(tag byte) []byte { return []byte{tag, stateV1} }
+
+func checkHeader(data []byte, tag byte, payload int) error {
+	if len(data) != 2+payload {
+		return fmt.Errorf("baselines: state length %d, want %d", len(data), 2+payload)
+	}
+	if data[0] != tag {
+		return fmt.Errorf("baselines: state tag %#x, want %#x", data[0], tag)
+	}
+	if data[1] != stateV1 {
+		return fmt.Errorf("baselines: unsupported state version %d", data[1])
+	}
+	return nil
+}
+
+// MarshalBinary encodes the full lagged-Fibonacci window and cursor.
+func (g *GlibcRand) MarshalBinary() ([]byte, error) {
+	out := header(tagGlibc)
+	var b [4]byte
+	for _, v := range g.buf {
+		binary.LittleEndian.PutUint32(b[:], v)
+		out = append(out, b[:]...)
+	}
+	binary.LittleEndian.PutUint32(b[:], uint32(g.k))
+	return append(out, b[:]...), nil
+}
+
+// UnmarshalBinary restores a state written by MarshalBinary.
+func (g *GlibcRand) UnmarshalBinary(data []byte) error {
+	if err := checkHeader(data, tagGlibc, 4*35); err != nil {
+		return err
+	}
+	p := data[2:]
+	for i := range g.buf {
+		g.buf[i] = binary.LittleEndian.Uint32(p[4*i:])
+	}
+	k := binary.LittleEndian.Uint32(p[4*34:])
+	if k >= 34 {
+		return fmt.Errorf("baselines: glibc cursor %d out of range", k)
+	}
+	g.k = int(k)
+	return nil
+}
+
+// MarshalBinary encodes the 64-bit LCG state.
+func (g *ANSIC) MarshalBinary() ([]byte, error) {
+	out := header(tagANSIC)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], g.next)
+	return append(out, b[:]...), nil
+}
+
+// UnmarshalBinary restores a state written by MarshalBinary.
+func (g *ANSIC) UnmarshalBinary(data []byte) error {
+	if err := checkHeader(data, tagANSIC, 8); err != nil {
+		return err
+	}
+	g.next = binary.LittleEndian.Uint64(data[2:])
+	return nil
+}
+
+// MarshalBinary encodes the SplitMix64 counter.
+func (g *SplitMix64) MarshalBinary() ([]byte, error) {
+	out := header(tagSplitMix)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], g.state)
+	return append(out, b[:]...), nil
+}
+
+// UnmarshalBinary restores a state written by MarshalBinary.
+func (g *SplitMix64) UnmarshalBinary(data []byte) error {
+	if err := checkHeader(data, tagSplitMix, 8); err != nil {
+		return err
+	}
+	g.state = binary.LittleEndian.Uint64(data[2:])
+	return nil
+}

@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"testing"
+)
+
+func TestGlibcRandMarshalRoundTrip(t *testing.T) {
+	g := NewGlibcRand(12345)
+	for i := 0; i < 37; i++ {
+		g.Random()
+	}
+	blob, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := new(GlibcRand)
+	if err := r.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if g.Random() != r.Random() {
+			t.Fatalf("restored glibc stream diverged at %d", i)
+		}
+	}
+}
+
+func TestANSICMarshalRoundTrip(t *testing.T) {
+	g := NewANSIC(777)
+	g.Rand()
+	g.Rand()
+	blob, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := new(ANSIC)
+	if err := r.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if g.Rand() != r.Rand() {
+			t.Fatal("restored ansic stream diverged")
+		}
+	}
+}
+
+func TestSplitMixMarshalRoundTrip(t *testing.T) {
+	g := NewSplitMix64(99)
+	g.Uint64()
+	blob, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := new(SplitMix64)
+	if err := r.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if g.Uint64() != r.Uint64() {
+			t.Fatal("restored splitmix stream diverged")
+		}
+	}
+}
+
+func TestUnmarshalRejectsBadBlobs(t *testing.T) {
+	g := NewGlibcRand(1)
+	blob, _ := g.MarshalBinary()
+
+	r := new(GlibcRand)
+	if err := r.UnmarshalBinary(blob[:10]); err == nil {
+		t.Error("short blob should fail")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] = 0x7F
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Error("wrong tag should fail")
+	}
+	bad = append([]byte(nil), blob...)
+	bad[1] = 99
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Error("wrong version should fail")
+	}
+	// Corrupt the cursor beyond range.
+	bad = append([]byte(nil), blob...)
+	bad[len(bad)-4] = 0xFF
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Error("out-of-range cursor should fail")
+	}
+	a := new(ANSIC)
+	if err := a.UnmarshalBinary([]byte{0x02, 1, 0}); err == nil {
+		t.Error("short ansic payload should fail")
+	}
+	s := new(SplitMix64)
+	if err := s.UnmarshalBinary([]byte{0x01, 1, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("splitmix must reject the glibc tag")
+	}
+}
+
+func TestMINSTDSeedEdgeCases(t *testing.T) {
+	// Zero and negative seeds map into the valid multiplicative
+	// group; the stream must be non-degenerate.
+	for _, seed := range []int32{0, -1, -2147483647} {
+		g := NewMINSTD(seed)
+		a, b := g.Next31(), g.Next31()
+		if a == 0 || a == b {
+			t.Errorf("seed %d: degenerate stream (%d, %d)", seed, a, b)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package baselines
+
+// CUDAMCML ships a file of multiply-with-carry multipliers computed
+// offline: values a for which a·2^32 − 1 is a safe prime, giving
+// each GPU thread an independent long-period stream. This file
+// reproduces that offline step with a deterministic Miller–Rabin
+// test, so the repository does not depend on the shipped list.
+
+// mulmod computes (a·b) mod m without overflow via 128-bit
+// intermediate arithmetic.
+func mulmod(a, b, m uint64) uint64 {
+	hi, lo := mul128(a, b)
+	return mod128(hi, lo, m)
+}
+
+// mul128 returns the 128-bit product of a and b.
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xFFFFFFFF
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a0 * b0
+	lo = t & mask
+	c := t >> 32
+	t = a1*b0 + c
+	c = t >> 32
+	t2 := a0*b1 + t&mask
+	lo |= t2 << 32
+	hi = a1*b1 + c + t2>>32
+	return hi, lo
+}
+
+// mod128 reduces the 128-bit value (hi, lo) modulo m by binary long
+// division.
+func mod128(hi, lo, m uint64) uint64 {
+	if hi == 0 {
+		return lo % m
+	}
+	rem := uint64(0)
+	for i := 127; i >= 0; i-- {
+		bit := uint64(0)
+		if i >= 64 {
+			bit = hi >> uint(i-64) & 1
+		} else {
+			bit = lo >> uint(i) & 1
+		}
+		carry := rem >> 63
+		rem = rem<<1 | bit
+		if carry == 1 || rem >= m {
+			rem -= m
+		}
+	}
+	return rem
+}
+
+// powmod computes a^e mod m.
+func powmod(a, e, m uint64) uint64 {
+	result := uint64(1)
+	a %= m
+	for e > 0 {
+		if e&1 == 1 {
+			result = mulmod(result, a, m)
+		}
+		a = mulmod(a, a, m)
+		e >>= 1
+	}
+	return result
+}
+
+// mrBases is a deterministic witness set for 64-bit integers
+// (Sinclair's seven-base set).
+var mrBases = []uint64{2, 325, 9375, 28178, 450775, 9780504, 1795265022}
+
+// IsPrime64 is a deterministic Miller–Rabin primality test valid for
+// every 64-bit integer.
+func IsPrime64(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n%p == 0 {
+			return n == p
+		}
+	}
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+witness:
+	for _, a := range mrBases {
+		a %= n
+		if a == 0 {
+			continue
+		}
+		x := powmod(a, d, n)
+		if x == 1 || x == n-1 {
+			continue
+		}
+		for i := 0; i < r-1; i++ {
+			x = mulmod(x, x, n)
+			if x == n-1 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// IsGoodMWCMultiplier reports whether a yields a long-period,
+// full-quality MWC stream: both a·2^32 − 1 and a·2^31 − 1 must be
+// prime (the CUDAMCML safe-prime criterion).
+func IsGoodMWCMultiplier(a uint32) bool {
+	m := uint64(a) << 32
+	return IsPrime64(m-1) && IsPrime64(m>>1-1)
+}
+
+// FindMWCMultipliers searches downward from `start` and returns the
+// first `count` good multipliers — the reproduction of CUDAMCML's
+// offline multiplier file generation.
+func FindMWCMultipliers(start uint32, count int) []uint32 {
+	var out []uint32
+	for a := start; a > 1<<31 && len(out) < count; a-- {
+		if IsGoodMWCMultiplier(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}

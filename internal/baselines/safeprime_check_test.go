@@ -1,0 +1,11 @@
+package baselines
+
+import "testing"
+
+func TestDefaultMultipliersAreGood(t *testing.T) {
+	for _, a := range DefaultMWCMultipliers {
+		if !IsGoodMWCMultiplier(a) {
+			t.Errorf("default multiplier %d fails the safe-prime criterion", a)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package baselines
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrime64SmallValues(t *testing.T) {
+	primes := map[uint64]bool{
+		0: false, 1: false, 2: true, 3: true, 4: false, 5: true,
+		25: false, 97: true, 561: false /* Carmichael */, 7919: true,
+		1<<31 - 1: true /* Mersenne */, 1<<32 + 15: true,
+		4294967295: false, /* 2^32-1 = 3·5·17·257·65537 */
+	}
+	for n, want := range primes {
+		if got := IsPrime64(n); got != want {
+			t.Errorf("IsPrime64(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrime64AgainstBigInt(t *testing.T) {
+	f := func(nRaw uint64) bool {
+		n := nRaw%(1<<48) + 2 // keep big.Int's ProbablyPrime fast
+		want := new(big.Int).SetUint64(n).ProbablyPrime(20)
+		return IsPrime64(n) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulmodMatchesBigInt(t *testing.T) {
+	f := func(a, b, m uint64) bool {
+		if m < 2 {
+			m = 2
+		}
+		want := new(big.Int).Mul(new(big.Int).SetUint64(a), new(big.Int).SetUint64(b))
+		want.Mod(want, new(big.Int).SetUint64(m))
+		return mulmod(a, b, m) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowmodMatchesBigInt(t *testing.T) {
+	f := func(a, e uint64, mRaw uint64) bool {
+		m := mRaw
+		if m < 2 {
+			m = 2
+		}
+		e %= 10000 // keep big.Exp cheap
+		want := new(big.Int).Exp(new(big.Int).SetUint64(a), new(big.Int).SetUint64(e), new(big.Int).SetUint64(m))
+		return powmod(a, e, m) == want.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFindMWCMultipliers(t *testing.T) {
+	got := FindMWCMultipliers(4294967295, 3)
+	want := []uint32{4294967118, 4294966893, 4294966830}
+	if len(got) != 3 {
+		t.Fatalf("found %d multipliers", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("multiplier %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	for _, a := range got {
+		if !IsGoodMWCMultiplier(a) {
+			t.Errorf("found multiplier %d is not good", a)
+		}
+	}
+}
+
+func TestIsGoodMWCMultiplierRejects(t *testing.T) {
+	// An even multiplier can never satisfy the criterion (a·2^32−1
+	// is fine, but a·2^31−1 with even a is ≡ -1 mod 2… check a known
+	// bad one instead).
+	if IsGoodMWCMultiplier(4294966578) {
+		t.Error("known-bad multiplier accepted")
+	}
+}

@@ -1,0 +1,175 @@
+package bitsource
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// The paper's conclusion points at cryptographic applications as
+// future work. A prerequisite for any entropy-consuming deployment
+// is continuous health testing of the raw source; this file
+// implements the two online health tests of NIST SP 800-90B §4.4 —
+// the Repetition Count Test and the Adaptive Proportion Test —
+// applied to the feed stream's bytes. A Monitor wraps any source
+// and trips permanently when either test fails, which a consumer
+// must treat as a broken feed.
+
+// HealthError reports a tripped health test.
+type HealthError struct {
+	Test   string // "repetition-count" or "adaptive-proportion"
+	Detail string
+}
+
+func (e *HealthError) Error() string {
+	return fmt.Sprintf("bitsource: health test %s failed: %s", e.Test, e.Detail)
+}
+
+// Monitor wraps a Source with the SP 800-90B continuous health
+// tests over the stream's bytes. After a failure the monitor is
+// tripped: Uint64 keeps returning values (the interface cannot
+// error) but Err reports the failure and Tripped is true — callers
+// must check Err at their consumption boundary.
+type Monitor struct {
+	src rng.Source
+
+	// Repetition count test state.
+	lastByte byte
+	repeats  int
+	rctBound int
+
+	// Adaptive proportion test state.
+	aptSample  byte
+	aptCount   int
+	aptWindow  int
+	aptSeen    int
+	aptBound   int
+	haveSample bool
+
+	tripped atomic.Bool
+	err     error
+}
+
+// NewMonitor wraps src with health tests calibrated for a source
+// claiming `hMin` bits of min-entropy per byte (use 8 for a full-
+// entropy feed, less for a weak one — the paper's glibc feed is
+// nowhere near full entropy, so callers wrapping it should claim
+// conservatively, e.g. 4). The false-positive rate per test is
+// 2^-30, the SP 800-90B recommendation.
+func NewMonitor(src rng.Source, hMin float64) (*Monitor, error) {
+	if src == nil {
+		return nil, fmt.Errorf("bitsource: nil source")
+	}
+	if hMin <= 0 || hMin > 8 {
+		return nil, fmt.Errorf("bitsource: claimed min-entropy %g outside (0, 8]", hMin)
+	}
+	const alphaExp = 30 // α = 2^-30
+	// RCT cutoff: 1 + ⌈30 / hMin⌉.
+	rct := 1 + int(math.Ceil(alphaExp/hMin))
+	// APT cutoff over a 512-byte window: smallest c with
+	// P[Binomial(512, 2^-hMin) ≥ c] ≤ 2^-30; the standard's
+	// CRITBINOM. Computed here by direct summation.
+	p := math.Exp2(-hMin)
+	apt := critBinom(512, p, math.Exp2(-alphaExp))
+	return &Monitor{
+		src:       src,
+		rctBound:  rct,
+		aptWindow: 512,
+		aptBound:  apt,
+	}, nil
+}
+
+// critBinom returns the smallest cutoff c such that
+// P[Binomial(n, p) ≥ c] ≤ alpha.
+func critBinom(n int, p, alpha float64) int {
+	// Walk the pmf from the top until the tail exceeds alpha.
+	tail := 0.0
+	logP := math.Log(p)
+	logQ := math.Log1p(-p)
+	lnFact := func(k int) float64 {
+		l, _ := math.Lgamma(float64(k) + 1)
+		return l
+	}
+	for c := n; c >= 0; c-- {
+		lpmf := lnFact(n) - lnFact(c) - lnFact(n-c) + float64(c)*logP + float64(n-c)*logQ
+		tail += math.Exp(lpmf)
+		if tail > alpha {
+			return c + 1
+		}
+	}
+	return 0
+}
+
+// trip records the first failure.
+func (m *Monitor) trip(test, detail string) {
+	if m.tripped.CompareAndSwap(false, true) {
+		m.err = &HealthError{Test: test, Detail: detail}
+	}
+}
+
+// Err returns the first health failure, or nil.
+func (m *Monitor) Err() error {
+	if !m.tripped.Load() {
+		return nil
+	}
+	return m.err
+}
+
+// Tripped reports whether a health test has failed.
+func (m *Monitor) Tripped() bool { return m.tripped.Load() }
+
+// Uint64 draws a word and feeds its bytes through both health tests.
+func (m *Monitor) Uint64() uint64 {
+	v := m.src.Uint64()
+	for i := 0; i < 8; i++ {
+		m.checkByte(byte(v >> (8 * i)))
+	}
+	return v
+}
+
+func (m *Monitor) checkByte(b byte) {
+	// Repetition count test.
+	if m.haveSample && b == m.lastByte {
+		m.repeats++
+		if m.repeats >= m.rctBound {
+			m.trip("repetition-count",
+				fmt.Sprintf("byte %#02x repeated %d times (cutoff %d)", b, m.repeats, m.rctBound))
+		}
+	} else {
+		m.lastByte = b
+		m.repeats = 1
+	}
+	// Adaptive proportion test.
+	if !m.haveSample {
+		m.aptSample = b
+		m.aptCount = 1
+		m.aptSeen = 1
+		m.haveSample = true
+		return
+	}
+	if m.aptSeen == 0 {
+		m.aptSample = b
+		m.aptCount = 1
+		m.aptSeen = 1
+		return
+	}
+	m.aptSeen++
+	if b == m.aptSample {
+		m.aptCount++
+		if m.aptCount >= m.aptBound {
+			m.trip("adaptive-proportion",
+				fmt.Sprintf("byte %#02x appeared %d times in a %d-byte window (cutoff %d)",
+					b, m.aptCount, m.aptWindow, m.aptBound))
+		}
+	}
+	if m.aptSeen >= m.aptWindow {
+		m.aptSeen = 0 // start a new window on the next byte
+	}
+}
+
+// RCTCutoff and APTCutoff expose the calibrated bounds (for tests
+// and reporting).
+func (m *Monitor) RCTCutoff() int { return m.rctBound }
+func (m *Monitor) APTCutoff() int { return m.aptBound }

@@ -1,0 +1,161 @@
+package bitsource
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/rng"
+)
+
+func TestMonitorValidation(t *testing.T) {
+	if _, err := NewMonitor(nil, 8); err == nil {
+		t.Error("nil source should fail")
+	}
+	src := baselines.NewSplitMix64(1)
+	if _, err := NewMonitor(src, 0); err == nil {
+		t.Error("zero entropy claim should fail")
+	}
+	if _, err := NewMonitor(src, 9); err == nil {
+		t.Error("entropy claim > 8 should fail")
+	}
+}
+
+func TestMonitorCutoffs(t *testing.T) {
+	m, err := NewMonitor(baselines.NewSplitMix64(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full entropy: RCT cutoff = 1 + ⌈30/8⌉ = 5.
+	if m.RCTCutoff() != 5 {
+		t.Errorf("RCT cutoff = %d, want 5", m.RCTCutoff())
+	}
+	// APT cutoff must be far above the expectation 512/256 = 2 but
+	// far below the window.
+	if m.APTCutoff() < 8 || m.APTCutoff() > 64 {
+		t.Errorf("APT cutoff = %d, outside a plausible band", m.APTCutoff())
+	}
+	// Weaker claim → larger cutoffs.
+	m4, _ := NewMonitor(baselines.NewSplitMix64(1), 4)
+	if m4.RCTCutoff() <= m.RCTCutoff() || m4.APTCutoff() <= m.APTCutoff() {
+		t.Error("weaker entropy claim must loosen the cutoffs")
+	}
+}
+
+func TestMonitorPassesHealthySource(t *testing.T) {
+	m, err := NewMonitor(baselines.NewSplitMix64(7), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		m.Uint64()
+	}
+	if m.Tripped() {
+		t.Fatalf("healthy source tripped: %v", m.Err())
+	}
+	if m.Err() != nil {
+		t.Fatal("Err non-nil without trip")
+	}
+}
+
+func TestMonitorPassesGlibcAtConservativeClaim(t *testing.T) {
+	m, err := NewMonitor(baselines.NewGlibcRand(1), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		m.Uint64()
+	}
+	if m.Tripped() {
+		t.Fatalf("glibc feed tripped at the conservative claim: %v", m.Err())
+	}
+}
+
+func TestMonitorTripsOnStuckSource(t *testing.T) {
+	stuck := rng.Func(func() uint64 { return 0x4242424242424242 })
+	m, err := NewMonitor(stuck, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10 && !m.Tripped(); i++ {
+		m.Uint64()
+	}
+	if !m.Tripped() {
+		t.Fatal("stuck-at source not detected")
+	}
+	he, ok := m.Err().(*HealthError)
+	if !ok || he.Test != "repetition-count" {
+		t.Fatalf("expected repetition-count failure, got %v", m.Err())
+	}
+	if !strings.Contains(he.Error(), "repetition-count") {
+		t.Errorf("error text: %v", he)
+	}
+}
+
+func TestMonitorTripsOnBiasedSource(t *testing.T) {
+	// Each byte is 0xAB with probability 1/16, otherwise random (and
+	// never 0xAB): runs stay far below the RCT cutoff, but whenever
+	// an APT window samples 0xAB it sees ≈ 32 matches in 512 bytes
+	// against a cutoff calibrated for ≈ 2 — an APT-only failure.
+	// (Deterministic periodic patterns would phase-lock the window
+	// sample and can slip past APT entirely; the randomised bias
+	// cannot.)
+	inner := baselines.NewSplitMix64(5)
+	biased := rng.Func(func() uint64 {
+		var v uint64
+		for b := 0; b < 8; b++ {
+			r := byte(inner.Uint64())
+			if r < 16 {
+				r = 0xAB
+			} else if r == 0xAB {
+				r = 0x11
+			}
+			v |= uint64(r) << (8 * b)
+		}
+		return v
+	})
+	m, err := NewMonitor(biased, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 10000 && !m.Tripped(); j++ {
+		m.Uint64()
+	}
+	if !m.Tripped() {
+		t.Fatal("biased source not detected")
+	}
+	he := m.Err().(*HealthError)
+	if he.Test != "adaptive-proportion" {
+		t.Fatalf("expected adaptive-proportion failure, got %v", m.Err())
+	}
+}
+
+func TestMonitorStaysTrippedAndUsable(t *testing.T) {
+	stuck := rng.Func(func() uint64 { return 0 })
+	m, _ := NewMonitor(stuck, 8)
+	for i := 0; i < 20; i++ {
+		m.Uint64() // must not panic after tripping
+	}
+	first := m.Err()
+	m.Uint64()
+	if m.Err() != first {
+		t.Error("first failure must be sticky")
+	}
+}
+
+func TestCritBinom(t *testing.T) {
+	// p = 0.5, n = 10, alpha = 1: essentially everything allowed
+	// (cutoff 0 or 1 depending on floating rounding of the total
+	// probability mass).
+	if c := critBinom(10, 0.5, 1.0); c > 1 {
+		t.Errorf("critBinom(alpha=1) = %d", c)
+	}
+	// Tiny alpha forces the cutoff to the top.
+	if c := critBinom(10, 0.5, 1e-12); c < 10 {
+		t.Errorf("critBinom(alpha=1e-12) = %d", c)
+	}
+	// Monotone in alpha.
+	if critBinom(512, 1.0/256, 1e-9) < critBinom(512, 1.0/256, 1e-3) {
+		t.Error("cutoff must grow as alpha shrinks")
+	}
+}

@@ -1,0 +1,53 @@
+package diehard
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+)
+
+// Per-test benchmarks at a small scale, so battery cost regressions
+// are visible. The scale keeps each run in milliseconds; the battery
+// cmd runs at scale 1.
+func BenchmarkDiehardTests(b *testing.B) {
+	for _, test := range Menu() {
+		b.Run(test.Name, func(b *testing.B) {
+			src := baselines.NewSplitMix64(1)
+			for i := 0; i < b.N; i++ {
+				if _, err := test.Run(src, 0.1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFullBattery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := RunBattery("splitmix64", baselines.NewSplitMix64(uint64(i)), Config{Scale: 0.25})
+		if out.Total != 15 {
+			b.Fatal("menu shrank")
+		}
+	}
+}
+
+func BenchmarkBinaryRank32(b *testing.B) {
+	src := baselines.NewSplitMix64(2)
+	rows := make([]uint64, 32)
+	for i := range rows {
+		rows[i] = uint64(uint32(src.Uint64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binaryRank64(rows, 32)
+	}
+}
+
+func BenchmarkMissingWords(b *testing.B) {
+	src := baselines.NewSplitMix64(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c uint32
+		missingWords(10, func() uint32 { c = uint32(src.Uint64()); return c & 1023 })
+	}
+}

@@ -1,0 +1,116 @@
+package diehard
+
+import (
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// birthdaySpacings implements Marsaglia's first test: choose m = 512
+// "birthdays" in a year of n = 2^24 "days", sort them, and let J be
+// the number of values that occur more than once among the spacings
+// between consecutive birthdays. J is asymptotically Poisson with
+// λ = m³/(4n) = 2. The counts over many samples are compared to the
+// Poisson law by chi-square; the test is repeated for several bit
+// fields of the word so low- and high-bit defects are both seen.
+func birthdaySpacings(src rng.Source, scale float64) ([]float64, error) {
+	const (
+		m      = 512
+		days   = 1 << 24
+		lambda = float64(m) * float64(m) * float64(m) / (4 * float64(days))
+	)
+	samples := scaled(200, scale)
+	// Bit offsets: take the 24-bit field starting at these positions
+	// (from the top of the 64-bit word).
+	offsets := []uint{0, 8, 16, 24, 32, 40}
+	var ps []float64
+	bdays := make([]uint32, m)
+	spac := make([]uint32, m)
+	for _, off := range offsets {
+		counts := make([]float64, 12) // J = 0..10, ≥11 pooled
+		for s := 0; s < samples; s++ {
+			for i := range bdays {
+				bdays[i] = uint32(src.Uint64() >> (64 - 24 - off) & (days - 1))
+			}
+			sort.Slice(bdays, func(a, b int) bool { return bdays[a] < bdays[b] })
+			spac[0] = bdays[0]
+			for i := 1; i < m; i++ {
+				spac[i] = bdays[i] - bdays[i-1]
+			}
+			sort.Slice(spac, func(a, b int) bool { return spac[a] < spac[b] })
+			j := 0
+			for i := 1; i < m; i++ {
+				if spac[i] == spac[i-1] {
+					j++
+				}
+			}
+			if j >= len(counts) {
+				j = len(counts) - 1
+			}
+			counts[j]++
+		}
+		expected := make([]float64, len(counts))
+		cum := 0.0
+		for k := 0; k < len(expected)-1; k++ {
+			pk := stats.PoissonPMF(lambda, k)
+			expected[k] = pk * float64(samples)
+			cum += pk
+		}
+		expected[len(expected)-1] = (1 - cum) * float64(samples)
+		res, err := stats.ChiSquare(counts, expected, 5, 0)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, res.P)
+	}
+	return ps, nil
+}
+
+// operm5 tests the 120 orderings of 5-tuples of consecutive 32-bit
+// values. Marsaglia's original uses overlapping tuples with a
+// tabulated covariance correction; this implementation uses disjoint
+// tuples, for which the plain multinomial chi-square over 120 cells
+// is exact — same null hypothesis (no ordering bias), cleaner
+// statistic.
+func operm5(src rng.Source, scale float64) ([]float64, error) {
+	tuples := scaled(120000, scale)
+	counts := make([]float64, 120)
+	lane := lane32(src)
+	var vals [5]uint32
+	for t := 0; t < tuples; t++ {
+		for i := range vals {
+			vals[i] = lane()
+		}
+		counts[permIndex5(vals)]++
+	}
+	expected := make([]float64, 120)
+	e := float64(tuples) / 120
+	for i := range expected {
+		expected[i] = e
+	}
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// permIndex5 maps the ordering pattern of 5 values to a number in
+// [0, 120) using the factorial number system (Lehmer code). Ties are
+// broken towards the earlier index; with 32-bit values ties are
+// vanishingly rare and bias-free.
+func permIndex5(v [5]uint32) int {
+	idx := 0
+	fact := [5]int{24, 6, 2, 1, 1}
+	for i := 0; i < 4; i++ {
+		rank := 0
+		for j := i + 1; j < 5; j++ {
+			if v[j] < v[i] {
+				rank++
+			}
+		}
+		idx += rank * fact[i]
+	}
+	return idx
+}

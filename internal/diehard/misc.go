@@ -1,0 +1,194 @@
+package diehard
+
+import (
+	"math"
+
+	"repro/internal/baselines"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// squeeze iterates k ← ⌈k·U⌉ from k = 2^31 down to k ≤ 1 and counts
+// the iterations needed (capped at 48). Marsaglia's original
+// compares against tabulated cell probabilities; this implementation
+// runs the identical experiment on the generator under test and on a
+// fixed-seed reference generator (MT19937-64) and applies a
+// two-sample homogeneity chi-square — the same null hypothesis
+// without embedding the table.
+func squeeze(src rng.Source, scale float64) ([]float64, error) {
+	trials := scaled(20000, scale)
+	ref := baselines.NewMT19937_64(0x5EEDD1E5)
+	sample := func(s rng.Source) []float64 {
+		counts := make([]float64, 49-6+1) // cells: ≤6 .. 48
+		for t := 0; t < trials; t++ {
+			k := int64(1) << 31
+			j := 0
+			for k > 1 && j < 48 {
+				u := rng.Float64(s)
+				k = int64(math.Ceil(float64(k) * u))
+				j++
+			}
+			cell := j - 6
+			if cell < 0 {
+				cell = 0
+			}
+			counts[cell]++
+		}
+		return counts
+	}
+	a := sample(src)
+	b := sample(ref)
+	// Two-sample chi-square with equal totals, pooling sparse cells.
+	var x2, df float64
+	var accA, accB float64
+	flush := func() {
+		if accA+accB >= 10 {
+			d := accA - accB
+			x2 += d * d / (accA + accB)
+			df++
+			accA, accB = 0, 0
+		}
+	}
+	for i := range a {
+		accA += a[i]
+		accB += b[i]
+		flush()
+	}
+	if accA+accB > 0 && df > 0 {
+		d := accA - accB
+		x2 += d * d / (accA + accB)
+		df++
+	}
+	if df < 2 {
+		df = 2
+	}
+	return []float64{stats.ChiSquareCDF(x2, df-1)}, nil
+}
+
+// overlappingSums: sums of 100 consecutive uniforms are approximately
+// N(50, 100/12). Marsaglia's original uses overlapping sums with a
+// covariance transform; this implementation uses disjoint sums, for
+// which the normal law is immediate, and closes with a KS test of
+// the probability transforms.
+func overlappingSums(src rng.Source, scale float64) ([]float64, error) {
+	m := scaled(1000, scale)
+	sigma := math.Sqrt(100.0 / 12.0)
+	us := make([]float64, m)
+	for i := 0; i < m; i++ {
+		sum := 0.0
+		for j := 0; j < 100; j++ {
+			sum += rng.Float64(src)
+		}
+		us[i] = stats.NormalCDF((sum - 50) / sigma)
+	}
+	ks, err := stats.KSUniform(us)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{ks.P}, nil
+}
+
+// runsTest counts the total number of maximal monotone runs (up and
+// down) in a sequence of n uniforms; the total R is asymptotically
+// N((2n−1)/3, (16n−29)/90). Several repetitions give several
+// p-values.
+func runsTest(src rng.Source, scale float64) ([]float64, error) {
+	reps := scaled(6, scale)
+	n := 10000
+	var ps []float64
+	for r := 0; r < reps; r++ {
+		prev := rng.Float64(src)
+		cur := rng.Float64(src)
+		runs := 1
+		up := cur > prev
+		prev = cur
+		for i := 2; i < n; i++ {
+			cur = rng.Float64(src)
+			dirUp := cur > prev
+			if dirUp != up {
+				runs++
+				up = dirUp
+			}
+			prev = cur
+		}
+		mean := (2*float64(n) - 1) / 3
+		variance := (16*float64(n) - 29) / 90
+		z := (float64(runs) - mean) / math.Sqrt(variance)
+		ps = append(ps, stats.NormalCDF(z))
+	}
+	return ps, nil
+}
+
+// craps plays many games of craps. Two statistics: the win count,
+// binomial with p = 244/495, and the distribution of the number of
+// throws per game, chi-squared against the exact law.
+func craps(src rng.Source, scale float64) ([]float64, error) {
+	games := scaled(200000, scale)
+	throwDie := func() int { return int(rng.Uint64n(src, 6)) + 1 }
+	wins := 0
+	throwCounts := make([]float64, 21) // 1..20, ≥21 pooled at [20]
+	for g := 0; g < games; g++ {
+		roll := throwDie() + throwDie()
+		throws := 1
+		var won bool
+		switch roll {
+		case 7, 11:
+			won = true
+		case 2, 3, 12:
+			won = false
+		default:
+			point := roll
+			for {
+				r := throwDie() + throwDie()
+				throws++
+				if r == point {
+					won = true
+					break
+				}
+				if r == 7 {
+					won = false
+					break
+				}
+			}
+		}
+		if won {
+			wins++
+		}
+		cell := throws - 1
+		if cell > 20 {
+			cell = 20
+		}
+		throwCounts[cell]++
+	}
+	// Win-count z-score.
+	p := 244.0 / 495.0
+	mean := float64(games) * p
+	sd := math.Sqrt(float64(games) * p * (1 - p))
+	pWins := stats.NormalCDF((float64(wins) - mean) / sd)
+
+	// Exact throw-length law: P(1) = 12/36; for k ≥ 2,
+	// P(k) = Σ_point P(point)·(1−e_p)^{k−2}·e_p with
+	// e_p = P(point) + 1/6.
+	pointProb := map[int]float64{4: 3.0 / 36, 5: 4.0 / 36, 6: 5.0 / 36, 8: 5.0 / 36, 9: 4.0 / 36, 10: 3.0 / 36}
+	expected := make([]float64, 21)
+	expected[0] = 12.0 / 36 * float64(games)
+	for k := 2; k <= 20; k++ {
+		var pk float64
+		for _, pp := range pointProb {
+			ep := pp + 1.0/6
+			pk += pp * math.Pow(1-ep, float64(k-2)) * ep
+		}
+		expected[k-1] = pk * float64(games)
+	}
+	// Tail cell ≥ 21.
+	var head float64
+	for _, e := range expected[:20] {
+		head += e
+	}
+	expected[20] = float64(games) - head
+	res, err := stats.ChiSquare(throwCounts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{pWins, res.P}, nil
+}

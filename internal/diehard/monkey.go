@@ -1,0 +1,97 @@
+package diehard
+
+import (
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Monkey tests: stream 2^21 overlapping 20-bit "words" (assembled
+// from letters of various widths) and count how many of the 2^20
+// possible words never appear. Under H0 the missing count is
+// approximately normal with mean 2^20·e^{-2} ≈ 141909.33 and a
+// standard deviation that depends on the overlap structure —
+// Marsaglia's published values are 428 (bitstream), 290 (OPSO),
+// 295 (OQSO) and 339 (DNA).
+const (
+	monkeyWords   = 1 << 21
+	monkeySpace   = 1 << 20
+	monkeyMissing = 141909.3295
+)
+
+// missingWords streams `monkeyWords` overlapping words built from
+// letters of width letterBits (so a word is 20/letterBits letters)
+// and returns the number of missing words. nextLetter supplies
+// letters.
+func missingWords(letterBits int, nextLetter func() uint32) float64 {
+	lettersPerWord := 20 / letterBits
+	mask := uint32(monkeySpace - 1)
+	var seen [monkeySpace / 64]uint64
+
+	var word uint32
+	// Warm-up: the first word needs lettersPerWord letters.
+	for i := 0; i < lettersPerWord; i++ {
+		word = word<<letterBits | nextLetter()
+	}
+	word &= mask
+	seen[word>>6] |= 1 << (word & 63)
+	for i := 1; i < monkeyWords; i++ {
+		word = (word<<letterBits | nextLetter()) & mask
+		seen[word>>6] |= 1 << (word & 63)
+	}
+	present := 0
+	for _, w := range seen {
+		for ; w != 0; w &= w - 1 {
+			present++
+		}
+	}
+	return float64(monkeySpace - present)
+}
+
+// bitstream is the 20-bit monkey test on the raw bit stream.
+// Sample size is fixed by the statistic (2^21 words); scale sets the
+// repetition count.
+func bitstream(src rng.Source, scale float64) ([]float64, error) {
+	reps := scaled(2, scale)
+	br := rng.NewBitReader(src)
+	var ps []float64
+	for r := 0; r < reps; r++ {
+		missing := missingWords(1, func() uint32 { return uint32(br.Bit()) })
+		z := (missing - monkeyMissing) / 428
+		ps = append(ps, stats.NormalCDF(z))
+	}
+	return ps, nil
+}
+
+// monkeyTrio runs OPSO (two 10-bit letters), OQSO (four 5-bit
+// letters) and DNA (ten 2-bit letters), each over a few bit
+// positions of the 32-bit lanes, mirroring Marsaglia's sweep over
+// designated bits.
+func monkeyTrio(src rng.Source, scale float64) ([]float64, error) {
+	var ps []float64
+	lane := lane32(src)
+	run := func(letterBits int, sigma float64, shifts []uint) {
+		for _, sh := range shifts {
+			letterMask := uint32(1)<<letterBits - 1
+			letter := func() uint32 {
+				return lane() >> sh & letterMask
+			}
+			missing := missingWords(letterBits, letter)
+			z := (missing - monkeyMissing) / sigma
+			ps = append(ps, stats.NormalCDF(z))
+		}
+	}
+	// scale ≥ 2 widens the bit-position sweeps towards Marsaglia's
+	// full 23/28/31-position versions.
+	opsoShifts := []uint{0, 11, 22}
+	oqsoShifts := []uint{0, 13, 27}
+	dnaShifts := []uint{0, 15, 30}
+	if scale >= 2 {
+		opsoShifts = []uint{0, 4, 8, 11, 15, 18, 22}
+		oqsoShifts = []uint{0, 5, 9, 13, 18, 22, 27}
+		dnaShifts = []uint{0, 5, 10, 15, 20, 25, 30}
+	}
+	run(10, 290, opsoShifts)
+	run(5, 295, oqsoShifts)
+	run(2, 339, dnaShifts)
+	return ps, nil
+}

@@ -1,0 +1,116 @@
+package diehard
+
+import (
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// rankProb is the exact GF(2) rank law, shared with the TestU01
+// battery via internal/stats.
+func rankProb(m, n, r int) float64 { return stats.GF2RankProb(m, n, r) }
+
+// binaryRank64 computes the GF(2) rank of a matrix whose rows are
+// the low `cols` bits of the given words.
+func binaryRank64(rows []uint64, cols int) int {
+	rank := 0
+	work := append([]uint64(nil), rows...)
+	mask := uint64(1) << (cols - 1)
+	for col := 0; col < cols && rank < len(work); col++ {
+		bit := mask >> col
+		pivot := -1
+		for i := rank; i < len(work); i++ {
+			if work[i]&bit != 0 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work[rank], work[pivot] = work[pivot], work[rank]
+		for i := 0; i < len(work); i++ {
+			if i != rank && work[i]&bit != 0 {
+				work[i] ^= work[rank]
+			}
+		}
+		rank++
+	}
+	return rank
+}
+
+// rankChiSquare builds `trials` random m×n matrices with rowGen and
+// chi-squares the rank counts against the exact law, pooling all
+// ranks below `floor`.
+func rankChiSquare(trials, m, n, floor int, rowGen func() uint64) ([]float64, error) {
+	maxRank := m
+	if n < m {
+		maxRank = n
+	}
+	ncells := maxRank - floor + 2 // floor-1 and below pooled into cell 0
+	counts := make([]float64, ncells)
+	rows := make([]uint64, m)
+	for t := 0; t < trials; t++ {
+		for i := range rows {
+			rows[i] = rowGen()
+		}
+		r := binaryRank64(rows, n)
+		cell := r - floor + 1
+		if cell < 0 {
+			cell = 0
+		}
+		counts[cell]++
+	}
+	expected := make([]float64, ncells)
+	for r := 0; r <= maxRank; r++ {
+		cell := r - floor + 1
+		if cell < 0 {
+			cell = 0
+		}
+		expected[cell] += rankProb(m, n, r) * float64(trials)
+	}
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// rank3132 is DIEHARD's "ranks of 31×31 and 32×32 matrices": the
+// rows of the 31×31 matrix are the high 31 bits of successive words;
+// the 32×32 rows are full 32-bit halves. Ranks below n−3 are pooled.
+func rank3132(src rng.Source, scale float64) ([]float64, error) {
+	trials := scaled(4000, scale)
+	lane := lane32(src)
+	p31, err := rankChiSquare(trials, 31, 31, 29, func() uint64 {
+		return uint64(lane() >> 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	p32, err := rankChiSquare(trials, 32, 32, 30, func() uint64 {
+		return uint64(lane())
+	})
+	if err != nil {
+		return nil, err
+	}
+	return append(p31, p32...), nil
+}
+
+// rank6x8 is DIEHARD's "ranks of 6×8 matrices": rows are bytes taken
+// from successive words; ranks 0..4 pool.
+func rank6x8(src rng.Source, scale float64) ([]float64, error) {
+	trials := scaled(100000, scale)
+	var word uint64
+	var have int
+	nextByte := func() uint64 {
+		if have == 0 {
+			word = src.Uint64()
+			have = 8
+		}
+		b := word >> 56
+		word <<= 8
+		have--
+		return b
+	}
+	return rankChiSquare(trials, 6, 8, 5, nextByte)
+}

@@ -1,0 +1,191 @@
+package expander
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// WalkOperator applies one step of the lazy walk to a distribution
+// (dense, by vertex index) and writes the result into dst. Both
+// slices must have length NumVertices. Only valid for small graphs.
+func (g *Graph) WalkOperator(dst, src []float64) error {
+	if g.full {
+		return fmt.Errorf("expander: WalkOperator needs a small graph")
+	}
+	n := g.NumVertices()
+	if uint64(len(dst)) != n || uint64(len(src)) != n {
+		return fmt.Errorf("expander: WalkOperator slice lengths %d/%d, want %d", len(dst), len(src), n)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, p := range src {
+		if p == 0 {
+			continue
+		}
+		v := g.vertexAt(uint64(i))
+		dst[g.index(g.Neighbor(v, 0))] += p * 2 / 8
+		for k := 1; k < Degree; k++ {
+			dst[g.index(g.Neighbor(v, k))] += p / 8
+		}
+	}
+	return nil
+}
+
+// adjointOperator applies the adjoint (transpose) of the walk
+// operator: mass flows backwards along the maps.
+func (g *Graph) adjointOperator(dst, src []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := range src {
+		v := g.vertexAt(uint64(i))
+		// dst[i] = Σ_j P[i→j] src[j]  (adjoint accumulates from the
+		// images of i).
+		acc := src[g.index(g.Neighbor(v, 0))] * 2 / 8
+		for k := 1; k < Degree; k++ {
+			acc += src[g.index(g.Neighbor(v, k))] / 8
+		}
+		dst[i] = acc
+	}
+}
+
+// SecondSingularValue estimates σ₂(P), the second-largest singular
+// value of the lazy walk operator, by power iteration on P·Pᵀ
+// restricted to the space orthogonal to the uniform vector. The
+// mixing rate of the walk is bounded by σ₂ per step: after t steps
+// the total-variation distance decays like σ₂ᵗ·√n. For a healthy
+// Gabber–Galil construction σ₂ is bounded away from 1 uniformly in
+// m. Only valid for small graphs.
+func (g *Graph) SecondSingularValue(iterations int, src rng.Source) (float64, error) {
+	if g.full {
+		return 0, fmt.Errorf("expander: SecondSingularValue needs a small graph")
+	}
+	if iterations < 1 {
+		iterations = 50
+	}
+	n := int(g.NumVertices())
+	x := make([]float64, n)
+	tmp := make([]float64, n)
+	tmp2 := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64(src) - 0.5
+	}
+	deflate := func(v []float64) {
+		var mean float64
+		for _, vi := range v {
+			mean += vi
+		}
+		mean /= float64(n)
+		for i := range v {
+			v[i] -= mean
+		}
+	}
+	norm := func(v []float64) float64 {
+		var s float64
+		for _, vi := range v {
+			s += vi * vi
+		}
+		return math.Sqrt(s)
+	}
+	deflate(x)
+	if norm(x) == 0 {
+		x[0], x[1] = 1, -1
+	}
+	for it := 0; it < iterations; it++ {
+		// z = (PᵀP) x; σ₂² is the top eigenvalue of PᵀP on the
+		// deflated (mean-zero) space.
+		if err := g.WalkOperator(tmp, x); err != nil {
+			return 0, err
+		}
+		g.adjointOperator(tmp2, tmp)
+		deflate(tmp2)
+		nz := norm(tmp2)
+		if nz == 0 {
+			return 0, nil
+		}
+		for i := range x {
+			x[i] = tmp2[i] / nz
+		}
+	}
+	// Rayleigh quotient: σ₂² = ⟨x, PᵀP x⟩ with ‖x‖ = 1.
+	if err := g.WalkOperator(tmp, x); err != nil {
+		return 0, err
+	}
+	var num float64
+	for _, v := range tmp {
+		num += v * v
+	}
+	return math.Sqrt(num), nil
+}
+
+// EstimateDiameter estimates the diameter of the (undirected) graph
+// by BFS from a handful of vertices, returning the largest
+// eccentricity found — a lower bound on the true diameter. For an
+// expander the diameter is O(log n). Only valid for small graphs.
+func (g *Graph) EstimateDiameter(starts []Vertex) (int, error) {
+	if g.full {
+		return 0, fmt.Errorf("expander: EstimateDiameter needs a small graph")
+	}
+	if len(starts) == 0 {
+		starts = []Vertex{{0, 0}}
+	}
+	n := g.NumVertices()
+	// Undirected adjacency: forward maps plus their reverses.
+	// Reverse edges found by scanning once (n·Degree edges).
+	radj := make([][]uint32, n)
+	for i := uint64(0); i < n; i++ {
+		v := g.vertexAt(i)
+		for k := 1; k < Degree; k++ {
+			j := g.index(g.Neighbor(v, k))
+			radj[j] = append(radj[j], uint32(i))
+		}
+	}
+	best := 0
+	dist := make([]int32, n)
+	queue := make([]uint32, 0, n)
+	for _, s := range starts {
+		for i := range dist {
+			dist[i] = -1
+		}
+		queue = queue[:0]
+		si := uint32(g.index(s))
+		dist[si] = 0
+		queue = append(queue, si)
+		ecc := 0
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			du := dist[u]
+			if int(du) > ecc {
+				ecc = int(du)
+			}
+			v := g.vertexAt(uint64(u))
+			for k := 1; k < Degree; k++ {
+				w := uint32(g.index(g.Neighbor(v, k)))
+				if dist[w] < 0 {
+					dist[w] = du + 1
+					queue = append(queue, w)
+				}
+			}
+			for _, w := range radj[u] {
+				if dist[w] < 0 {
+					dist[w] = du + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		if ecc > best {
+			best = ecc
+		}
+		// Disconnected graphs would leave unvisited vertices; the
+		// Gabber–Galil family is connected, but report it if broken.
+		for _, d := range dist {
+			if d < 0 {
+				return 0, fmt.Errorf("expander: graph is disconnected")
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,171 @@
+package expander
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baselines"
+)
+
+func TestWalkOperatorPreservesMass(t *testing.T) {
+	g, err := New(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(g.NumVertices())
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	src[37] = 0.25
+	src[200] = 0.75
+	if err := g.WalkOperator(dst, src); err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, p := range dst {
+		if p < 0 {
+			t.Fatal("negative probability")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("mass = %g", sum)
+	}
+}
+
+func TestWalkOperatorMatchesWalkDistribution(t *testing.T) {
+	g, _ := New(11)
+	n := int(g.NumVertices())
+	p0 := make([]float64, n)
+	p1 := make([]float64, n)
+	start := Vertex{3, 7}
+	p0[int(g.index(start))] = 1
+	if err := g.WalkOperator(p1, p0); err != nil {
+		t.Fatal(err)
+	}
+	want, err := g.WalkDistribution(start, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(p1[i]-want[i]) > 1e-12 {
+			t.Fatalf("operator and distribution disagree at %d: %g vs %g", i, p1[i], want[i])
+		}
+	}
+}
+
+func TestWalkOperatorValidation(t *testing.T) {
+	g, _ := New(8)
+	if err := g.WalkOperator(make([]float64, 3), make([]float64, 64)); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if err := Full().WalkOperator(nil, nil); err == nil {
+		t.Error("full graph should fail")
+	}
+}
+
+func TestAdjointIsTranspose(t *testing.T) {
+	// ⟨P x, y⟩ must equal ⟨x, Pᵀ y⟩ for random x, y.
+	g, _ := New(9)
+	n := int(g.NumVertices())
+	src := baselines.NewSplitMix64(4)
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(src.Uint64()%1000)/500 - 1
+		y[i] = float64(src.Uint64()%1000)/500 - 1
+	}
+	px := make([]float64, n)
+	pty := make([]float64, n)
+	if err := g.WalkOperator(px, x); err != nil {
+		t.Fatal(err)
+	}
+	g.adjointOperator(pty, y)
+	var lhs, rhs float64
+	for i := range x {
+		lhs += px[i] * y[i]
+		rhs += x[i] * pty[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Errorf("⟨Px,y⟩ = %g, ⟨x,Pᵀy⟩ = %g", lhs, rhs)
+	}
+}
+
+func TestSecondSingularValueBoundedAwayFromOne(t *testing.T) {
+	// The construction's whole point: σ₂ stays bounded below 1 as m
+	// grows (here m = 8, 16, 32).
+	for _, m := range []uint32{8, 16, 32} {
+		g, err := New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sigma, err := g.SecondSingularValue(80, baselines.NewSplitMix64(uint64(m)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sigma <= 0 || sigma >= 1 {
+			t.Fatalf("m=%d: σ₂ = %g out of (0, 1)", m, sigma)
+		}
+		if sigma > 0.995 {
+			t.Errorf("m=%d: σ₂ = %g too close to 1 — not expanding", m, sigma)
+		}
+		t.Logf("m=%d: σ₂ ≈ %.4f", m, sigma)
+	}
+}
+
+func TestSecondSingularValuePredictsMixing(t *testing.T) {
+	// TV after t steps ≲ σ₂ᵗ · √n: check the walk is at least as
+	// fast as the spectral bound within slack.
+	g, _ := New(16)
+	sigma, err := g.SecondSingularValue(80, baselines.NewSplitMix64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := g.MixingTV(32, Vertex{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := math.Pow(sigma, 32) * math.Sqrt(float64(g.NumVertices()))
+	if tv > bound*10 { // slack for the non-reversible operator
+		t.Errorf("TV(32) = %g exceeds spectral bound %g × 10", tv, bound)
+	}
+}
+
+func TestSecondSingularValueValidation(t *testing.T) {
+	if _, err := Full().SecondSingularValue(10, baselines.NewSplitMix64(1)); err == nil {
+		t.Error("full graph should fail")
+	}
+}
+
+func TestEstimateDiameterLogarithmic(t *testing.T) {
+	// Expander diameter is O(log n); for m = 64 (4096 vertices,
+	// log₂ n = 12) the eccentricities should be well below, say, 24,
+	// and grow very slowly with m.
+	d16 := diameterOf(t, 16)
+	d64 := diameterOf(t, 64)
+	if d64 > 24 {
+		t.Errorf("diameter(m=64) = %d, too large for an expander", d64)
+	}
+	if d64 > 3*d16 {
+		t.Errorf("diameter grew too fast: %d → %d for 16× the vertices", d16, d64)
+	}
+	t.Logf("diameter lower bounds: m=16 → %d, m=64 → %d", d16, d64)
+}
+
+func diameterOf(t *testing.T, m uint32) int {
+	t.Helper()
+	g, err := New(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.EstimateDiameter([]Vertex{{0, 0}, {m - 1, m / 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestEstimateDiameterValidation(t *testing.T) {
+	if _, err := Full().EstimateDiameter(nil); err == nil {
+		t.Error("full graph should fail")
+	}
+}

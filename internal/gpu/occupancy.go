@@ -1,0 +1,110 @@
+package gpu
+
+import "fmt"
+
+// SMLimits are the per-multiprocessor resource ceilings that bound
+// how many thread blocks can be resident simultaneously — the
+// inputs of the classic CUDA occupancy calculation.
+type SMLimits struct {
+	MaxThreads int // resident threads per SM
+	MaxWarps   int // resident warps per SM
+	MaxBlocks  int // resident blocks per SM
+	Registers  int // 32-bit registers per SM
+	SharedMem  int // bytes of shared memory per SM
+	WarpSize   int
+}
+
+// TeslaC1060Limits returns the GT200 (compute capability 1.3)
+// ceilings of the paper's device: 1024 threads / 32 warps / 8 blocks
+// per SM, 16384 registers, 16 KiB shared memory.
+func TeslaC1060Limits() SMLimits {
+	return SMLimits{
+		MaxThreads: 1024,
+		MaxWarps:   32,
+		MaxBlocks:  8,
+		Registers:  16384,
+		SharedMem:  16 * 1024,
+		WarpSize:   32,
+	}
+}
+
+// KernelResources is a kernel's per-block resource footprint.
+type KernelResources struct {
+	ThreadsPerBlock int
+	RegsPerThread   int
+	SharedPerBlock  int // bytes
+}
+
+// Occupancy describes the outcome of the calculation.
+type Occupancy struct {
+	BlocksPerSM int
+	ActiveWarps int
+	Fraction    float64 // ActiveWarps / MaxWarps
+	// Limiter names the binding constraint: "threads", "blocks",
+	// "registers" or "shared-memory".
+	Limiter string
+}
+
+// Occupancy computes how many blocks of the given footprint fit on
+// one SM and the resulting warp occupancy. Register allocation is
+// modelled at warp granularity (threads rounded up to a whole number
+// of warps), the GT200 scheme.
+func (l SMLimits) Occupancy(r KernelResources) (Occupancy, error) {
+	if r.ThreadsPerBlock < 1 {
+		return Occupancy{}, fmt.Errorf("gpu: threads/block %d < 1", r.ThreadsPerBlock)
+	}
+	if r.ThreadsPerBlock > l.MaxThreads {
+		return Occupancy{}, fmt.Errorf("gpu: threads/block %d exceeds SM limit %d", r.ThreadsPerBlock, l.MaxThreads)
+	}
+	if r.RegsPerThread < 0 || r.SharedPerBlock < 0 {
+		return Occupancy{}, fmt.Errorf("gpu: negative kernel resources")
+	}
+	warpsPerBlock := (r.ThreadsPerBlock + l.WarpSize - 1) / l.WarpSize
+	occ := Occupancy{BlocksPerSM: l.MaxBlocks, Limiter: "blocks"}
+
+	if byWarps := l.MaxWarps / warpsPerBlock; byWarps < occ.BlocksPerSM {
+		occ.BlocksPerSM, occ.Limiter = byWarps, "threads"
+	}
+	if r.RegsPerThread > 0 {
+		regsPerBlock := r.RegsPerThread * warpsPerBlock * l.WarpSize
+		if regsPerBlock > l.Registers {
+			return Occupancy{}, fmt.Errorf("gpu: block needs %d registers, SM has %d", regsPerBlock, l.Registers)
+		}
+		if byRegs := l.Registers / regsPerBlock; byRegs < occ.BlocksPerSM {
+			occ.BlocksPerSM, occ.Limiter = byRegs, "registers"
+		}
+	}
+	if r.SharedPerBlock > 0 {
+		if r.SharedPerBlock > l.SharedMem {
+			return Occupancy{}, fmt.Errorf("gpu: block needs %d B shared memory, SM has %d", r.SharedPerBlock, l.SharedMem)
+		}
+		if byShared := l.SharedMem / r.SharedPerBlock; byShared < occ.BlocksPerSM {
+			occ.BlocksPerSM, occ.Limiter = byShared, "shared-memory"
+		}
+	}
+	occ.ActiveWarps = occ.BlocksPerSM * warpsPerBlock
+	if occ.ActiveWarps > l.MaxWarps {
+		occ.ActiveWarps = l.MaxWarps
+	}
+	occ.Fraction = float64(occ.ActiveWarps) / float64(l.MaxWarps)
+	return occ, nil
+}
+
+// DurationWithOccupancy scales a kernel's duration by the occupancy
+// achievable with its resource footprint: below full occupancy the
+// device cannot hide memory latency and the throughput model's
+// effective parallelism shrinks proportionally. (KernelDuration
+// itself assumes a fully occupiable kernel, which is what the
+// calibrated figures use; this variant serves what-if analysis.)
+func (d *Device) DurationWithOccupancy(k Kernel, r KernelResources, l SMLimits) (Time, error) {
+	occ, err := l.Occupancy(r)
+	if err != nil {
+		return 0, err
+	}
+	base := d.KernelDuration(k)
+	if occ.Fraction <= 0 {
+		return 0, fmt.Errorf("gpu: zero occupancy")
+	}
+	launch := d.cfg.LaunchNs
+	return launch + (base-launch)/occ.Fraction, nil
+}

@@ -1,0 +1,120 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOccupancyFullyOccupied(t *testing.T) {
+	l := TeslaC1060Limits()
+	// 256 threads/block, 16 regs/thread, no shared memory:
+	// warps/block = 8; by warps 32/8 = 4 blocks; registers
+	// 256·16 = 4096/block → 4 blocks exactly; threads 1024/256 = 4.
+	occ, err := l.Occupancy(KernelResources{ThreadsPerBlock: 256, RegsPerThread: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 4 || occ.ActiveWarps != 32 {
+		t.Errorf("occupancy = %+v, want 4 blocks / 32 warps", occ)
+	}
+	if occ.Fraction != 1 {
+		t.Errorf("fraction = %g", occ.Fraction)
+	}
+}
+
+func TestOccupancyRegisterLimited(t *testing.T) {
+	l := TeslaC1060Limits()
+	// 64 regs/thread at 256 threads/block: 16384 regs/block → 1
+	// block, 8 warps, 25% occupancy.
+	occ, err := l.Occupancy(KernelResources{ThreadsPerBlock: 256, RegsPerThread: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 1 || occ.Limiter != "registers" {
+		t.Errorf("occupancy = %+v, want register-limited single block", occ)
+	}
+	if math.Abs(occ.Fraction-0.25) > 1e-12 {
+		t.Errorf("fraction = %g, want 0.25", occ.Fraction)
+	}
+}
+
+func TestOccupancySharedMemoryLimited(t *testing.T) {
+	l := TeslaC1060Limits()
+	// 6 KiB shared per block → 2 blocks fit in 16 KiB.
+	occ, err := l.Occupancy(KernelResources{ThreadsPerBlock: 128, SharedPerBlock: 6 * 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 2 || occ.Limiter != "shared-memory" {
+		t.Errorf("occupancy = %+v", occ)
+	}
+}
+
+func TestOccupancyBlockLimited(t *testing.T) {
+	l := TeslaC1060Limits()
+	// Tiny blocks: 32 threads each → warps allow 32, but the block
+	// cap (8) binds: 8 warps active, 25%.
+	occ, err := l.Occupancy(KernelResources{ThreadsPerBlock: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.BlocksPerSM != 8 || occ.Limiter != "blocks" {
+		t.Errorf("occupancy = %+v", occ)
+	}
+	if math.Abs(occ.Fraction-0.25) > 1e-12 {
+		t.Errorf("fraction = %g", occ.Fraction)
+	}
+}
+
+func TestOccupancyPartialWarpRoundsUp(t *testing.T) {
+	l := TeslaC1060Limits()
+	// 48 threads = 2 warps for allocation purposes.
+	occ, err := l.Occupancy(KernelResources{ThreadsPerBlock: 48, RegsPerThread: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// regs/block = 128·2·32 = 8192 → 2 blocks (register-limited).
+	if occ.BlocksPerSM != 2 || occ.Limiter != "registers" {
+		t.Errorf("occupancy = %+v", occ)
+	}
+}
+
+func TestOccupancyErrors(t *testing.T) {
+	l := TeslaC1060Limits()
+	if _, err := l.Occupancy(KernelResources{ThreadsPerBlock: 0}); err == nil {
+		t.Error("zero threads should fail")
+	}
+	if _, err := l.Occupancy(KernelResources{ThreadsPerBlock: 2048}); err == nil {
+		t.Error("oversized block should fail")
+	}
+	if _, err := l.Occupancy(KernelResources{ThreadsPerBlock: 64, RegsPerThread: -1}); err == nil {
+		t.Error("negative registers should fail")
+	}
+	if _, err := l.Occupancy(KernelResources{ThreadsPerBlock: 512, RegsPerThread: 64}); err == nil {
+		t.Error("block exceeding the whole register file should fail")
+	}
+	if _, err := l.Occupancy(KernelResources{ThreadsPerBlock: 64, SharedPerBlock: 64 * 1024}); err == nil {
+		t.Error("block exceeding shared memory should fail")
+	}
+}
+
+func TestDurationWithOccupancy(t *testing.T) {
+	d, _ := NewDevice(NewSim(), TeslaC1060())
+	k := Kernel{Threads: 240000, CyclesPerThread: 1300} // 1 ms + launch
+	full, err := d.DurationWithOccupancy(k, KernelResources{ThreadsPerBlock: 256, RegsPerThread: 16}, TeslaC1060Limits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(full-d.KernelDuration(k)) > 1 {
+		t.Errorf("full occupancy should match the base model: %g vs %g", full, d.KernelDuration(k))
+	}
+	quarter, err := d.DurationWithOccupancy(k, KernelResources{ThreadsPerBlock: 256, RegsPerThread: 64}, TeslaC1060Limits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25% occupancy → compute portion 4× longer.
+	wantCompute := (d.KernelDuration(k) - 5000) * 4
+	if math.Abs(quarter-5000-wantCompute) > 1 {
+		t.Errorf("quarter occupancy duration = %g, want %g", quarter, 5000+wantCompute)
+	}
+}

@@ -1,0 +1,45 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestOverlappedMatchesDirectStream(t *testing.T) {
+	// The feeder changes scheduling, never content: both backends
+	// must produce the identical numbers for identical seeds.
+	const n = 20000
+	_, direct, err := GenerateCPU(n, 2, core.Config{}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, overlapped, err := GenerateCPUOverlapped(n, 2, core.Config{}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range direct {
+		if direct[i] != overlapped[i] {
+			t.Fatalf("streams diverge at %d: %x vs %x", i, direct[i], overlapped[i])
+		}
+	}
+	if rep.Wall <= 0 || rep.N != n {
+		t.Errorf("bad report %+v", rep)
+	}
+}
+
+func TestOverlappedValidation(t *testing.T) {
+	if _, _, err := GenerateCPUOverlapped(0, 1, core.Config{}, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+}
+
+func TestOverlappedDefaultWorkers(t *testing.T) {
+	rep, nums, err := GenerateCPUOverlapped(1000, 0, core.Config{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers < 1 || len(nums) != 1000 {
+		t.Errorf("workers=%d len=%d", rep.Workers, len(nums))
+	}
+}

@@ -1,0 +1,263 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+)
+
+// Report summarises one simulated generation run.
+type Report struct {
+	Generator string
+	N         int64    // numbers generated
+	BlockSize int      // numbers per thread (the paper's S)
+	Threads   int      // GPU threads used
+	SimNs     gpu.Time // total simulated time
+	CPUUtil   float64  // host busy fraction over the run
+	GPUUtil   float64  // device busy fraction over the run
+	LinkUtil  float64  // PCIe busy fraction over the run
+
+	// Per-number steady-state costs (ns), for the Figure 4 style
+	// work-unit report.
+	FeedNsPerNumber     float64
+	TransferNsPerNumber float64
+	GenNsPerNumber      float64
+}
+
+// ThroughputGNs returns the achieved rate in GNumbers/s.
+func (r Report) ThroughputGNs() float64 {
+	if r.SimNs <= 0 {
+		return 0
+	}
+	return float64(r.N) / r.SimNs
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("%s: N=%d S=%d T=%d time=%.3f ms rate=%.4f GN/s cpu=%.0f%% gpu=%.0f%% link=%.0f%%",
+		r.Generator, r.N, r.BlockSize, r.Threads, r.SimNs/1e6, r.ThroughputGNs(),
+		100*r.CPUUtil, 100*r.GPUUtil, 100*r.LinkUtil)
+}
+
+// Platform bundles the simulated machine for one experiment run.
+type Platform struct {
+	Sim    *gpu.Sim
+	Device *gpu.Device
+	Host   *gpu.Host
+	Model  CostModel
+}
+
+// NewPlatform builds a fresh simulated paper platform (i7 + Tesla
+// C1060) with the given cost model.
+func NewPlatform(model CostModel) (*Platform, error) {
+	if err := model.validate(); err != nil {
+		return nil, err
+	}
+	sim := gpu.NewSim()
+	dev, err := gpu.NewDevice(sim, gpu.TeslaC1060())
+	if err != nil {
+		return nil, err
+	}
+	host, err := gpu.NewHost(sim, "cpu")
+	if err != nil {
+		return nil, err
+	}
+	return &Platform{Sim: sim, Device: dev, Host: host, Model: model}, nil
+}
+
+// GenerateHybrid simulates generating n numbers with the hybrid
+// expander-walk PRNG at block size s (each of the n/s threads
+// produces s numbers). It books the full FEED/TRANSFER/GENERATE
+// pipeline on the platform and returns the timing report — the
+// engine behind Figures 1, 3, 4 and 5.
+func (p *Platform) GenerateHybrid(n int64, s int) (Report, error) {
+	if n < 1 {
+		return Report{}, fmt.Errorf("hybrid: n = %d < 1", n)
+	}
+	if s < 1 {
+		return Report{}, fmt.Errorf("hybrid: block size %d < 1", s)
+	}
+	m := p.Model
+	threads := int(n / int64(s))
+	if threads < 1 {
+		threads = 1
+	}
+	iterations := int((n + int64(threads) - 1) / int64(threads))
+
+	start := p.Sim.Horizon()
+	feedStream := p.Device.NewStream(start)
+	genStream := p.Device.NewStream(start)
+
+	// Phase 0 — Algorithm 1: the host produces the seed bits for all
+	// threads, ships them, and the device runs the mixing-walk
+	// kernel.
+	initBytes := int64(m.FeedBytesPerInit() * float64(threads))
+	feed := p.Host.Compute("F:init", start, m.FeedChunkOverheadNs+float64(initBytes)/m.FeedBytesPerSec*1e9)
+	feedStream.WaitFor(feed.End)
+	tr := feedStream.CopyH2D("T:init", initBytes)
+	genStream.WaitFor(tr.End)
+	genStream.Launch(gpu.Kernel{
+		Name:            "G:init",
+		Threads:         threads,
+		CyclesPerThread: m.InitCyclesPerThread(),
+	})
+
+	// Phases 1..iterations — Algorithm 2, pipelined: while the
+	// device walks iteration i, the host produces and ships the bits
+	// for iteration i+1. Each iteration generates one number per
+	// thread.
+	perIterBytes := int64(m.FeedBytesPerNumber() * float64(threads))
+	feedReady := feed.End
+	remaining := n
+	for it := 0; it < iterations; it++ {
+		batch := int64(threads)
+		if batch > remaining {
+			batch = remaining
+		}
+		remaining -= batch
+		f := p.Host.Compute("F", feedReady, m.FeedChunkOverheadNs+float64(perIterBytes)/m.FeedBytesPerSec*1e9)
+		feedReady = f.End // host moves straight on to the next chunk
+		feedStream.WaitFor(f.End)
+		t := feedStream.CopyH2D("T", perIterBytes)
+		genStream.WaitFor(t.End)
+		genStream.Launch(gpu.Kernel{
+			Name:            "G",
+			Threads:         int(batch),
+			CyclesPerThread: m.GenCyclesPerNumber(),
+		})
+	}
+	end := p.Sim.Horizon()
+
+	cores := float64(p.Device.Cores())
+	clock := p.Device.Config().ClockHz
+	effThreads := float64(threads)
+	if effThreads > cores {
+		effThreads = cores
+	}
+	rep := Report{
+		Generator: "hybrid-prng",
+		N:         n,
+		BlockSize: s,
+		Threads:   threads,
+		SimNs:     end - start,
+		CPUUtil:   p.Sim.Utilization(p.Host.Resource(), start, end),
+		GPUUtil:   p.Sim.Utilization(p.Device.ComputeResource(), start, end),
+		LinkUtil:  p.Sim.Utilization(p.Device.CopyResource(), start, end),
+
+		FeedNsPerNumber:     m.FeedBytesPerNumber() / m.FeedBytesPerSec * 1e9,
+		TransferNsPerNumber: m.FeedBytesPerNumber() / p.Device.Config().LinkBps * 1e9,
+		// Device-wide per-number generation time:
+		// cycles / (clock · min(threads, cores)).
+		GenNsPerNumber: m.GenCyclesPerNumber() / (effThreads * clock) * 1e9,
+	}
+	return rep, nil
+}
+
+// GenerateMTBatch simulates the SDK Mersenne Twister batch
+// generator: a one-off setup, then a single device kernel producing
+// all n numbers into device memory (the pre-generate-and-store model
+// the paper criticises). The host plays no part.
+func (p *Platform) GenerateMTBatch(n int64) (Report, error) {
+	if n < 1 {
+		return Report{}, fmt.Errorf("hybrid: n = %d < 1", n)
+	}
+	m := p.Model
+	start := p.Sim.Horizon()
+	st := p.Device.NewStream(start)
+	st.Launch(gpu.Kernel{Name: "mt:setup", Threads: p.Device.Cores(), CyclesPerThread: m.MTSetupNs / 1e9 * p.Device.Config().ClockHz})
+	threads := p.Device.Cores() * 128 // fully occupied batch grid
+	if int64(threads) > n {
+		threads = int(n)
+	}
+	per := float64(n) / float64(threads)
+	st.Launch(gpu.Kernel{
+		Name:            "mt:batch",
+		Threads:         threads,
+		CyclesPerThread: per * m.MTBatchCyclesPerNumber,
+	})
+	end := p.Sim.Horizon()
+	return Report{
+		Generator: "mersenne-twister",
+		N:         n,
+		BlockSize: int(per),
+		Threads:   threads,
+		SimNs:     end - start,
+		CPUUtil:   p.Sim.Utilization(p.Host.Resource(), start, end),
+		GPUUtil:   p.Sim.Utilization(p.Device.ComputeResource(), start, end),
+		LinkUtil:  p.Sim.Utilization(p.Device.CopyResource(), start, end),
+	}, nil
+}
+
+// GenerateCurandDevice simulates the CURAND device API (XORWOW) in
+// its on-demand mode: curand_init once, then one state load +
+// generate + state store per number.
+func (p *Platform) GenerateCurandDevice(n int64) (Report, error) {
+	if n < 1 {
+		return Report{}, fmt.Errorf("hybrid: n = %d < 1", n)
+	}
+	m := p.Model
+	start := p.Sim.Horizon()
+	st := p.Device.NewStream(start)
+	st.Launch(gpu.Kernel{Name: "curand:init", Threads: p.Device.Cores(), CyclesPerThread: m.CurandSetupNs / 1e9 * p.Device.Config().ClockHz})
+	threads := p.Device.Cores() * 128
+	if int64(threads) > n {
+		threads = int(n)
+	}
+	per := float64(n) / float64(threads)
+	st.Launch(gpu.Kernel{
+		Name:            "curand:gen",
+		Threads:         threads,
+		CyclesPerThread: per * m.CurandDeviceCyclesPerNumber,
+	})
+	end := p.Sim.Horizon()
+	return Report{
+		Generator: "curand-device",
+		N:         n,
+		BlockSize: int(per),
+		Threads:   threads,
+		SimNs:     end - start,
+		CPUUtil:   p.Sim.Utilization(p.Host.Resource(), start, end),
+		GPUUtil:   p.Sim.Utilization(p.Device.ComputeResource(), start, end),
+		LinkUtil:  p.Sim.Utilization(p.Device.CopyResource(), start, end),
+	}, nil
+}
+
+// PureDeviceSerialHybrid simulates the strawman of Figure 1's left
+// half: the same hybrid workload but with no overlap — the host
+// produces each chunk only after the previous kernel completes.
+func (p *Platform) PureDeviceSerialHybrid(n int64, s int) (Report, error) {
+	if n < 1 || s < 1 {
+		return Report{}, fmt.Errorf("hybrid: bad n=%d s=%d", n, s)
+	}
+	m := p.Model
+	threads := int(n / int64(s))
+	if threads < 1 {
+		threads = 1
+	}
+	iterations := int((n + int64(threads) - 1) / int64(threads))
+	start := p.Sim.Horizon()
+	st := p.Device.NewStream(start)
+	ready := start
+	perIterBytes := int64(m.FeedBytesPerNumber() * float64(threads))
+	for it := 0; it < iterations; it++ {
+		f := p.Host.Compute("F", ready, m.FeedChunkOverheadNs+float64(perIterBytes)/m.FeedBytesPerSec*1e9)
+		st.WaitFor(f.End)
+		st.CopyH2D("T", perIterBytes)
+		k := st.Launch(gpu.Kernel{
+			Name:            "G",
+			Threads:         threads,
+			CyclesPerThread: m.GenCyclesPerNumber(),
+		})
+		ready = k.End // serial: host waits for the device
+	}
+	end := p.Sim.Horizon()
+	return Report{
+		Generator: "hybrid-serial (no overlap)",
+		N:         n,
+		BlockSize: s,
+		Threads:   threads,
+		SimNs:     end - start,
+		CPUUtil:   p.Sim.Utilization(p.Host.Resource(), start, end),
+		GPUUtil:   p.Sim.Utilization(p.Device.ComputeResource(), start, end),
+		LinkUtil:  p.Sim.Utilization(p.Device.CopyResource(), start, end),
+	}, nil
+}

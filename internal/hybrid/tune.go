@@ -1,0 +1,54 @@
+package hybrid
+
+import "fmt"
+
+// OptimalBlockSize sweeps the block size S on fresh simulated
+// platforms and returns the fastest S for generating n numbers,
+// refining geometrically around the coarse winner — the automated
+// version of the paper's Figure 5 discussion ("the timing is minimum
+// at a work load of around 100 numbers per thread").
+func OptimalBlockSize(model CostModel, n int64) (bestS int, bestNs float64, err error) {
+	if n < 1 {
+		return 0, 0, fmt.Errorf("hybrid: n = %d < 1", n)
+	}
+	timeAt := func(s int) (float64, error) {
+		p, err := NewPlatform(model)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := p.GenerateHybrid(n, s)
+		if err != nil {
+			return 0, err
+		}
+		return rep.SimNs, nil
+	}
+	// Coarse decade sweep.
+	coarse := []int{1, 3, 10, 30, 100, 300, 1000, 3000, 10000}
+	bestNs = -1
+	for _, s := range coarse {
+		if int64(s) > n {
+			break
+		}
+		t, err := timeAt(s)
+		if err != nil {
+			return 0, 0, err
+		}
+		if bestNs < 0 || t < bestNs {
+			bestS, bestNs = s, t
+		}
+	}
+	// Refine: probe midpoints around the winner.
+	for _, s := range []int{bestS / 2, bestS * 3 / 4, bestS * 3 / 2, bestS * 2} {
+		if s < 1 || int64(s) > n || s == bestS {
+			continue
+		}
+		t, err := timeAt(s)
+		if err != nil {
+			return 0, 0, err
+		}
+		if t < bestNs {
+			bestS, bestNs = s, t
+		}
+	}
+	return bestS, bestNs, nil
+}

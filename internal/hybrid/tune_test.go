@@ -1,0 +1,40 @@
+package hybrid
+
+import "testing"
+
+func TestOptimalBlockSizeNearPaperValue(t *testing.T) {
+	s, ns, err := OptimalBlockSize(DefaultCostModel(), 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns <= 0 {
+		t.Fatal("no time measured")
+	}
+	// Paper: minimum around S = 100; our model's basin is shallow
+	// between ~50 and ~2000.
+	if s < 30 || s > 3000 {
+		t.Errorf("optimal S = %d, outside the plausible basin", s)
+	}
+	// The tuned time must beat the clearly-bad extremes.
+	p, _ := NewPlatform(DefaultCostModel())
+	bad, err := p.GenerateHybrid(10_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns >= bad.SimNs {
+		t.Errorf("tuned %g ns not better than S=1's %g ns", ns, bad.SimNs)
+	}
+}
+
+func TestOptimalBlockSizeSmallN(t *testing.T) {
+	s, _, err := OptimalBlockSize(DefaultCostModel(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(s) > 50 {
+		t.Errorf("S = %d exceeds n", s)
+	}
+	if _, _, err := OptimalBlockSize(DefaultCostModel(), 0); err == nil {
+		t.Error("n=0 should fail")
+	}
+}

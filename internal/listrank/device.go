@@ -1,0 +1,121 @@
+package listrank
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/hybrid"
+	"repro/internal/rng"
+)
+
+// FISRankOnDevice runs the REAL three-phase ranking with Phase I
+// executed through the simulated device: every iteration's
+// coin-draw/splice pass is launched as a gpu.Kernel whose Body does
+// the actual work, while the launch is booked on the platform's
+// timeline with the Figure 7 cost model. The returned ranks are
+// exact (verified against SequentialRanks in the tests); the
+// returned time is the simulated Phase I duration.
+//
+// The kernel bodies run with Workers=1 so that draws from src are
+// made in deterministic node order; the booked duration models the
+// massively parallel execution the body stands for.
+func FISRankOnDevice(l *List, src rng.Source) ([]int64, *ReduceStats, gpu.Time, error) {
+	model := hybrid.DefaultCostModel()
+	p, err := hybrid.NewPlatform(model)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg := p.Device.Config()
+	cfg.Workers = 1
+	dev, err := gpu.NewDevice(p.Sim, cfg)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+
+	n := l.Len()
+	succ := append([]int32(nil), l.Succ...)
+	pred := append([]int32(nil), l.Pred...)
+	val := make([]int64, n)
+	for i := range val {
+		val[i] = 1
+	}
+	val[l.Head] = 0
+	active := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		active = append(active, int32(i))
+	}
+	bits := make([]byte, n)
+	stats := &ReduceStats{}
+	var stack []removal
+
+	start := p.Sim.Horizon()
+	feedStream := dev.NewStream(start)
+	genStream := dev.NewStream(start)
+	feedReady := start
+	br := rng.NewBitReader(src)
+
+	target := int64(reduceTarget(n))
+	for int64(len(active)) > target {
+		stats.Iterations++
+		stats.ActivePerIt = append(stats.ActivePerIt, int64(len(active)))
+		cnt := int64(len(active))
+
+		// FEED + TRANSFER for exactly the on-demand count.
+		bytes := int64(model.FeedBytesPerNumber() * float64(cnt))
+		f := p.Host.Compute("F", feedReady, model.FeedChunkOverheadNs+float64(bytes)/model.FeedBytesPerSec*1e9)
+		feedReady = f.End
+		feedStream.WaitFor(f.End)
+		tr := feedStream.CopyH2D("T", bytes)
+		genStream.WaitFor(tr.End)
+
+		// GENERATE+splice kernel: the body performs the real
+		// reduction step over the active range.
+		cur := active
+		var next []int32
+		genStream.Launch(gpu.Kernel{
+			Name:            "G",
+			Threads:         len(cur),
+			CyclesPerThread: model.GenCyclesPerNumber() + spliceCyclesPerNode,
+			Body: func(lo, hi int) {
+				// Draw phase (Algorithm 3 line 6): one on-demand
+				// number per surviving node.
+				for _, u := range cur[lo:hi] {
+					stats.RandomsDrawn++
+					bits[u] = byte(br.Bits(64) & 1)
+				}
+				// Splice phase over the same range.
+				for _, u := range cur[lo:hi] {
+					pd, s := pred[u], succ[u]
+					if pd != -1 && s != -1 && bits[u] == 1 && bits[pd] == 0 && bits[s] == 0 {
+						stack = append(stack, removal{node: u, pred: pd, val: val[u]})
+						val[s] += val[u]
+						succ[pd] = s
+						pred[s] = pd
+						stats.Removed++
+						continue
+					}
+					next = append(next, u)
+				}
+			},
+		})
+		// The loop guard keeps ≥ 2 survivors (ends are never
+		// removed), so an empty `next` means the body never ran.
+		if next == nil {
+			return nil, nil, 0, fmt.Errorf("listrank: device kernel body did not execute")
+		}
+		active = next
+	}
+	end := p.Sim.Horizon()
+
+	ranks := make([]int64, n)
+	r := int64(0)
+	for cur := l.Head; cur != -1; cur = succ[cur] {
+		r += val[cur]
+		ranks[cur] = r
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		rm := stack[i]
+		ranks[rm.node] = ranks[rm.pred] + rm.val
+	}
+	return ranks, stats, end - start, nil
+}

@@ -1,0 +1,71 @@
+package listrank
+
+import (
+	"testing"
+)
+
+func TestFISRankOnDeviceCorrect(t *testing.T) {
+	for _, n := range []int{100, 5000, 60000} {
+		l, _ := NewRandomList(n, src(uint64(n)))
+		want, err := SequentialRanks(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, simNs, err := FISRankOnDevice(l, src(uint64(n)+99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: device rank[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		if simNs <= 0 {
+			t.Error("no simulated time booked")
+		}
+		if stats.RandomsDrawn == 0 || stats.Iterations == 0 {
+			t.Errorf("stats empty: %+v", stats)
+		}
+	}
+}
+
+func TestFISRankOnDeviceMatchesPlainFIS(t *testing.T) {
+	// Same feed → identical reduction decisions and identical
+	// on-demand random counts as the plain CPU implementation.
+	l, _ := NewRandomList(20000, src(8))
+	r1, s1, err := FISRank(l, src(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, _, err := FISRankOnDevice(l, src(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("ranks diverge at %d", i)
+		}
+	}
+	if s1.RandomsDrawn != s2.RandomsDrawn || s1.Iterations != s2.Iterations {
+		t.Errorf("stats diverge: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestFISRankOnDeviceTimeConsistentWithModel(t *testing.T) {
+	// The booked simulated time must be in the same ballpark as the
+	// closed-form RankTimeSim for the same measured reduction.
+	l, _ := NewRandomList(100000, src(3))
+	_, stats, simNs, err := FISRankOnDevice(l, src(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RankTimeSim(VariantHybridOurs, int64(l.Len()), stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := simNs / rep.SimNs
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("device-run time %.2f ms vs model %.2f ms (ratio %.2f)",
+			simNs/1e6, rep.SimNs/1e6, ratio)
+	}
+}

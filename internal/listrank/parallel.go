@@ -1,0 +1,172 @@
+package listrank
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+	"repro/internal/scan"
+)
+
+// FISRankParallel is the real multicore version of FISRank: the coin
+// draws, the independent-set splice and the survivor compaction all
+// run across worker goroutines, with the compaction done by the
+// scan-based stream-compaction of internal/scan — the same primitive
+// structure as the GPU implementation of the paper's reference [3].
+//
+// Parallel splices are race-free by the FIS property: a removed node
+// u (b=1) has neighbours with b=0, so the cells written on its
+// behalf (succ of its pred, pred and val of its succ) are never
+// touched for another removed node in the same iteration.
+//
+// The output is deterministic for a fixed (seed factory, workers)
+// pair: coins are drawn from per-worker sources over a static
+// chunk-to-worker assignment. It equals SequentialRanks on every
+// input (property-tested), though the coin sequence — and hence the
+// iteration trace — differs from FISRank's single-stream one.
+func FISRankParallel(l *List, workers int, newSrc func(worker int) rng.Source) ([]int64, *ReduceStats, error) {
+	if newSrc == nil {
+		return nil, nil, fmt.Errorf("listrank: nil source factory")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := l.Len()
+	succ := append([]int32(nil), l.Succ...)
+	pred := append([]int32(nil), l.Pred...)
+	val := make([]int64, n)
+	for i := range val {
+		val[i] = 1
+	}
+	val[l.Head] = 0
+
+	active := make([]int32, n)
+	for i := range active {
+		active[i] = int32(i)
+	}
+	bits := make([]byte, n)
+	keep := make([]bool, n) // indexed like `active`
+	stats := &ReduceStats{}
+
+	srcs := make([]rng.Source, workers)
+	brs := make([]*rng.BitReader, workers)
+	for w := range srcs {
+		srcs[w] = newSrc(w)
+		brs[w] = rng.NewBitReader(srcs[w])
+	}
+
+	type chunkRemovals struct {
+		removals []removal
+	}
+
+	target := int64(reduceTarget(n))
+	var stack []removal
+	for int64(len(active)) > target {
+		stats.Iterations++
+		stats.ActivePerIt = append(stats.ActivePerIt, int64(len(active)))
+		cnt := len(active)
+		if len(keep) < cnt {
+			keep = make([]bool, cnt)
+		}
+
+		// Chunks are assigned statically: chunk c → worker c mod W,
+		// and each worker walks its chunks in order, so each
+		// worker's stream consumption is schedule-independent.
+		chunk := (cnt + workers - 1) / workers
+		if chunk < 1 {
+			chunk = 1
+		}
+		nchunks := (cnt + chunk - 1) / chunk
+
+		// Phase 1: coins (one on-demand number per survivor).
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				br := brs[w]
+				for c := w; c < nchunks; c += workers {
+					lo := c * chunk
+					hi := lo + chunk
+					if hi > cnt {
+						hi = cnt
+					}
+					for _, u := range active[lo:hi] {
+						bits[u] = byte(br.Bits(64) & 1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		stats.RandomsDrawn += int64(cnt)
+
+		// Phase 2a: independent-set decision — pure reads, no
+		// mutation, so every node may inspect its neighbours freely.
+		perChunk := make([]chunkRemovals, nchunks)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for c := w; c < nchunks; c += workers {
+					lo := c * chunk
+					hi := lo + chunk
+					if hi > cnt {
+						hi = cnt
+					}
+					for idx := lo; idx < hi; idx++ {
+						u := active[idx]
+						p, s := pred[u], succ[u]
+						if p != -1 && s != -1 && bits[u] == 1 && bits[p] == 0 && bits[s] == 0 {
+							perChunk[c].removals = append(perChunk[c].removals,
+								removal{node: u, pred: p, val: val[u]})
+							keep[idx] = false
+						} else {
+							keep[idx] = true
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		// Phase 2b: splice the removed nodes. The cells written for
+		// one removal are never read or written for another (the FIS
+		// property: a removed node's neighbours survive), so the
+		// chunk lists splice concurrently without synchronisation.
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for c := w; c < nchunks; c += workers {
+					for _, rm := range perChunk[c].removals {
+						s := succ[rm.node]
+						val[s] += rm.val
+						succ[rm.pred] = s
+						pred[s] = rm.pred
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		for c := range perChunk {
+			stack = append(stack, perChunk[c].removals...)
+			stats.Removed += int64(len(perChunk[c].removals))
+		}
+
+		// Phase 3: compact the survivors (scan-based).
+		active = scan.Compact(active, keep[:cnt], workers)
+	}
+
+	// Phase II: rank the reduced list; Phase III: reinsert.
+	ranks := make([]int64, n)
+	r := int64(0)
+	for cur := l.Head; cur != -1; cur = succ[cur] {
+		r += val[cur]
+		ranks[cur] = r
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		rm := stack[i]
+		ranks[rm.node] = ranks[rm.pred] + rm.val
+	}
+	return ranks, stats, nil
+}

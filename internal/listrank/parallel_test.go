@@ -1,0 +1,108 @@
+package listrank
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/baselines"
+	"repro/internal/rng"
+)
+
+func workerSrc(seed uint64) func(int) rng.Source {
+	return func(w int) rng.Source {
+		return baselines.NewSplitMix64(baselines.Mix64(seed + uint64(w)))
+	}
+}
+
+func TestFISRankParallelCorrect(t *testing.T) {
+	for _, n := range []int{2, 100, 5000, 60000} {
+		l, _ := NewRandomList(n, src(uint64(n)*3))
+		want, err := SequentialRanks(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats, err := FISRankParallel(l, 4, workerSrc(uint64(n)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: parallel rank[%d] = %d, want %d", n, i, got[i], want[i])
+			}
+		}
+		if n >= 100 && stats.RandomsDrawn == 0 {
+			t.Error("no randoms recorded")
+		}
+	}
+}
+
+func TestFISRankParallelDeterministic(t *testing.T) {
+	l, _ := NewRandomList(30000, src(9))
+	a, sa, err := FISRankParallel(l, 4, workerSrc(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, sb, err := FISRankParallel(l, 4, workerSrc(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("parallel ranking not reproducible")
+		}
+	}
+	if sa.Iterations != sb.Iterations || sa.RandomsDrawn != sb.RandomsDrawn {
+		t.Error("stats not reproducible")
+	}
+}
+
+func TestFISRankParallelAnyWorkerCountCorrect(t *testing.T) {
+	l, _ := NewRandomList(20000, src(4))
+	want, _ := SequentialRanks(l)
+	for _, workers := range []int{1, 2, 3, 8, 0} {
+		got, _, err := FISRankParallel(l, workers, workerSrc(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: rank[%d] wrong", workers, i)
+			}
+		}
+	}
+}
+
+func TestFISRankParallelValidation(t *testing.T) {
+	l, _ := NewOrderedList(10)
+	if _, _, err := FISRankParallel(l, 2, nil); err == nil {
+		t.Error("nil factory should fail")
+	}
+}
+
+func TestFISRankParallelProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint16, wRaw uint8) bool {
+		n := int(nRaw)%2000 + 2
+		workers := int(wRaw)%6 + 1
+		l, err := NewRandomList(n, src(seed))
+		if err != nil {
+			return false
+		}
+		want, err := SequentialRanks(l)
+		if err != nil {
+			return false
+		}
+		got, _, err := FISRankParallel(l, workers, workerSrc(seed^0xF00D))
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

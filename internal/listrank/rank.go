@@ -1,0 +1,297 @@
+package listrank
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rng"
+)
+
+// Wyllie ranks the list by parallel pointer jumping: O(log n) rounds
+// of rank[i] += rank[next[i]]; next[i] = next[next[i]], executed for
+// real across worker goroutines. It is the classic (work-
+// inefficient) baseline the paper's related work starts from.
+func Wyllie(l *List, workers int) ([]int64, error) {
+	n := l.Len()
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// Rank from the tail: value 1 for every node with a successor,
+	// 0 for the tail; pointer jumping accumulates distance to tail.
+	rank := make([]int64, n)
+	next := make([]int32, n)
+	for i := 0; i < n; i++ {
+		next[i] = l.Succ[i]
+		if l.Succ[i] != -1 {
+			rank[i] = 1
+		}
+	}
+	newRank := make([]int64, n)
+	newNext := make([]int32, n)
+	parallel := func(f func(lo, hi int)) {
+		if workers == 1 || n < 1024 {
+			f(0, n)
+			return
+		}
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for lo := 0; lo < n; lo += chunk {
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				f(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for {
+		var pending atomic.Int64
+		parallel(func(lo, hi int) {
+			live := int64(0)
+			for i := lo; i < hi; i++ {
+				if next[i] != -1 {
+					newRank[i] = rank[i] + rank[next[i]]
+					newNext[i] = next[next[i]]
+					if newNext[i] != -1 {
+						live++
+					}
+				} else {
+					newRank[i] = rank[i]
+					newNext[i] = -1
+				}
+			}
+			pending.Add(live)
+		})
+		rank, newRank = newRank, rank
+		next, newNext = newNext, next
+		if pending.Load() == 0 {
+			break
+		}
+	}
+	// Convert distance-to-tail into distance-from-head.
+	total := rank[l.Head]
+	out := make([]int64, n)
+	parallel(func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = total - rank[i]
+		}
+	})
+	return out, nil
+}
+
+// removal records one spliced-out node for Phase III reinsertion.
+type removal struct {
+	node, pred int32
+	val        int64
+}
+
+// ReduceStats describes one FIS reduction run — the inputs to the
+// Figure 7 timing model.
+type ReduceStats struct {
+	Iterations   int
+	ActivePerIt  []int64 // list size at the start of each iteration
+	RandomsDrawn int64   // numbers actually requested (on-demand count)
+	Removed      int64
+}
+
+// FISRank ranks the list with the paper's three-phase algorithm:
+//
+//	Phase I  (Algorithm 3): repeatedly remove a fractional
+//	         independent set — node u goes when b(u)=1 and both
+//	         neighbours drew 0 — until ≤ n/log₂n nodes remain; each
+//	         active node draws its bit on demand from src.
+//	Phase II: rank the reduced list sequentially (the paper uses
+//	         Helman–JáJá on the CPU; the reduced list has n/log n
+//	         nodes, a vanishing fraction of the work).
+//	Phase III: reinsert the removed nodes in reverse order.
+//
+// It returns the ranks and the reduction statistics.
+func FISRank(l *List, src rng.Source) ([]int64, *ReduceStats, error) {
+	n := l.Len()
+	succ := append([]int32(nil), l.Succ...)
+	pred := append([]int32(nil), l.Pred...)
+	val := make([]int64, n) // distance from pred at splice time
+	for i := range val {
+		val[i] = 1
+	}
+	val[l.Head] = 0
+
+	active := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		active = append(active, int32(i))
+	}
+	bits := make([]byte, n)
+	stats := &ReduceStats{}
+	var stack []removal
+
+	target := int64(reduceTarget(n))
+	br := rng.NewBitReader(src)
+	for int64(len(active)) > target {
+		stats.Iterations++
+		stats.ActivePerIt = append(stats.ActivePerIt, int64(len(active)))
+		// Each still-active node asks the generator for a number and
+		// keeps one bit — the on-demand call of Algorithm 3 line 6.
+		for _, u := range active {
+			stats.RandomsDrawn++
+			bits[u] = byte(br.Bits(64) & 1)
+		}
+		// Remove u when b(u)=1, b(pred)=0, b(succ)=0; ends are kept
+		// (they lack a neighbour).
+		next := active[:0]
+		for _, u := range active {
+			p, s := pred[u], succ[u]
+			if p != -1 && s != -1 && bits[u] == 1 && bits[p] == 0 && bits[s] == 0 {
+				stack = append(stack, removal{node: u, pred: p, val: val[u]})
+				val[s] += val[u]
+				succ[p] = s
+				pred[s] = p
+				stats.Removed++
+				continue
+			}
+			next = append(next, u)
+		}
+		active = next
+	}
+
+	// Phase II: rank the reduced list by traversal.
+	ranks := make([]int64, n)
+	r := int64(0)
+	for cur := l.Head; cur != -1; cur = succ[cur] {
+		r += val[cur]
+		ranks[cur] = r
+	}
+	// r walked head with val 0 first; normalise so head = 0.
+	// (val[head] = 0, so ranks[head] == 0 already.)
+
+	// Phase III: reinsert in reverse removal order.
+	for i := len(stack) - 1; i >= 0; i-- {
+		rm := stack[i]
+		ranks[rm.node] = ranks[rm.pred] + rm.val
+	}
+	return ranks, stats, nil
+}
+
+// reduceTarget returns the Phase I stopping size n/log₂n.
+func reduceTarget(n int) int {
+	lg := 0
+	for v := n; v > 1; v >>= 1 {
+		lg++
+	}
+	if lg < 1 {
+		lg = 1
+	}
+	t := n / lg
+	if t < 2 {
+		t = 2
+	}
+	return t
+}
+
+// HelmanJaJa ranks the list with the Helman–JáJá sublist algorithm,
+// executed for real across worker goroutines: s random splitters cut
+// the list into sublists; each sublist is walked independently in
+// parallel; the splitter chain is then ranked sequentially and the
+// offsets broadcast. This is the Phase II algorithm of the paper's
+// reference [3]; exported both for completeness and as a direct
+// ranking alternative.
+func HelmanJaJa(l *List, splitters int, src rng.Source, workers int) ([]int64, error) {
+	n := l.Len()
+	if splitters < 1 {
+		splitters = 64
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	isHead := make([]bool, n)
+	isHead[l.Head] = true
+	heads := []int32{l.Head}
+	for len(heads) < splitters+1 {
+		c := int32(rng.Uint64n(src, uint64(n)))
+		if !isHead[c] {
+			isHead[c] = true
+			heads = append(heads, c)
+		}
+		if len(heads) >= n {
+			break
+		}
+	}
+	// Walk each sublist until the next splitter (or the tail),
+	// recording local ranks and the sublist's length and successor
+	// splitter.
+	local := make([]int64, n)
+	sublen := make([]int64, len(heads))
+	nextHead := make([]int32, len(heads))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for hi, h := range heads {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(hi int, h int32) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			r := int64(0)
+			cur := h
+			for {
+				local[cur] = r
+				nxt := l.Succ[cur]
+				if nxt == -1 {
+					nextHead[hi] = -1
+					sublen[hi] = r + 1
+					return
+				}
+				if isHead[nxt] {
+					nextHead[hi] = nxt
+					sublen[hi] = r + 1
+					return
+				}
+				cur = nxt
+				r++
+			}
+		}(hi, h)
+	}
+	wg.Wait()
+	// Rank the splitter chain sequentially.
+	headIndex := make(map[int32]int, len(heads))
+	for i, h := range heads {
+		headIndex[h] = i
+	}
+	offset := make([]int64, len(heads))
+	cur := l.Head
+	off := int64(0)
+	for cur != -1 {
+		i, ok := headIndex[cur]
+		if !ok {
+			return nil, fmt.Errorf("listrank: splitter chain broken at %d", cur)
+		}
+		offset[i] = off
+		off += sublen[i]
+		cur = nextHead[i]
+	}
+	// Broadcast offsets.
+	ranks := make([]int64, n)
+	for hi, h := range heads {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(hi int, h int32) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cur := h
+			for {
+				ranks[cur] = offset[hi] + local[cur]
+				nxt := l.Succ[cur]
+				if nxt == -1 || isHead[nxt] {
+					return
+				}
+				cur = nxt
+			}
+		}(hi, h)
+	}
+	wg.Wait()
+	return ranks, nil
+}

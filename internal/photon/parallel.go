@@ -1,0 +1,74 @@
+package photon
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// SimulateParallel runs the transport across `workers` goroutines,
+// each with its own source from newSrc (the paper's thread model:
+// private RNG state per worker, no sharing). Results are merged;
+// the outcome is deterministic for a fixed worker count and source
+// factory, independent of scheduling, because each worker owns a
+// fixed share of the photons.
+func SimulateParallel(t *Tissue, n int64, workers int, newSrc func(worker int) rng.Source) (Result, error) {
+	if n < 1 {
+		return Result{}, fmt.Errorf("photon: n = %d < 1", n)
+	}
+	if newSrc == nil {
+		return Result{}, fmt.Errorf("photon: nil source factory")
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if int64(workers) > n {
+		workers = int(n)
+	}
+	partial := make([]Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	share := n / int64(workers)
+	extra := n % int64(workers)
+	for w := 0; w < workers; w++ {
+		cnt := share
+		if int64(w) < extra {
+			cnt++
+		}
+		wg.Add(1)
+		go func(w int, cnt int64) {
+			defer wg.Done()
+			if cnt == 0 {
+				partial[w] = Result{Absorbed: make([]float64, len(t.Layers))}
+				return
+			}
+			partial[w], errs[w] = Simulate(t, cnt, newSrc(w))
+		}(w, cnt)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	// Merge: tallies are weight fractions of each worker's photons;
+	// reweight by the worker's share.
+	total := Result{Photons: n, Absorbed: make([]float64, len(t.Layers))}
+	for _, p := range partial {
+		if p.Photons == 0 {
+			continue
+		}
+		f := float64(p.Photons) / float64(n)
+		total.Rsp = p.Rsp // identical constant across workers
+		total.Rd += p.Rd * f
+		total.Tt += p.Tt * f
+		for i := range total.Absorbed {
+			total.Absorbed[i] += p.Absorbed[i] * f
+		}
+		total.TotalSteps += p.TotalSteps
+		total.RouletteKills += p.RouletteKills
+	}
+	return total, nil
+}

@@ -1,0 +1,75 @@
+package photon
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/rng"
+)
+
+func splitSrc(seed uint64) func(int) rng.Source {
+	return func(w int) rng.Source {
+		return baselines.NewSplitMix64(baselines.Mix64(seed + uint64(w)))
+	}
+}
+
+func TestSimulateParallelDeterministic(t *testing.T) {
+	tissue := ThreeLayerSkin()
+	a, err := SimulateParallel(tissue, 8000, 4, splitSrc(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateParallel(tissue, 8000, 4, splitSrc(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rd != b.Rd || a.Tt != b.Tt || a.TotalSteps != b.TotalSteps {
+		t.Error("parallel simulation not reproducible")
+	}
+}
+
+func TestSimulateParallelMatchesSerialStatistics(t *testing.T) {
+	// Different stream partitioning ⇒ not bit-identical, but the
+	// physics must agree within Monte Carlo error.
+	tissue := ThreeLayerSkin()
+	serial, err := Simulate(tissue, 20000, baselines.NewSplitMix64(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := SimulateParallel(tissue, 20000, 4, splitSrc(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(serial.Rd-par.Rd) > 0.02 {
+		t.Errorf("Rd: serial %g vs parallel %g", serial.Rd, par.Rd)
+	}
+	if math.Abs(par.Conservation()-1) > 0.02 {
+		t.Errorf("parallel conservation = %g", par.Conservation())
+	}
+	if par.Rsp != serial.Rsp {
+		t.Errorf("Rsp differs: %g vs %g", par.Rsp, serial.Rsp)
+	}
+}
+
+func TestSimulateParallelEdgeCases(t *testing.T) {
+	tissue := ThreeLayerSkin()
+	// More workers than photons.
+	res, err := SimulateParallel(tissue, 3, 16, splitSrc(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Photons != 3 {
+		t.Errorf("photons = %d", res.Photons)
+	}
+	// Default worker count.
+	if _, err := SimulateParallel(tissue, 100, 0, splitSrc(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimulateParallel(tissue, 0, 1, splitSrc(9)); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := SimulateParallel(tissue, 10, 1, nil); err == nil {
+		t.Error("nil factory should fail")
+	}
+}

@@ -1,0 +1,78 @@
+package photon
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteReport writes an MCML-style text report of a grid simulation:
+// the scalar summary (RAT block), the per-layer absorption, the
+// depth-resolved absorption A(z) and the radial diffuse reflectance
+// Rd(r) — the output format downstream plotting scripts of the MCML
+// family expect, adapted to this package's tallies.
+func WriteReport(w io.Writer, t *Tissue, r GridResult) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("# photon migration report (%d photons)\n", r.Photons); err != nil {
+		return err
+	}
+	if err := p("# tissue: %d layers, n_above=%.3f n_below=%.3f\n", len(t.Layers), t.NAbove, t.NBelow); err != nil {
+		return err
+	}
+	for i, l := range t.Layers {
+		if err := p("# layer %d: mua=%.4g mus=%.4g g=%.3f n=%.3f d=%.4g\n",
+			i, l.Mua, l.Mus, l.G, l.N, l.Thickness); err != nil {
+			return err
+		}
+	}
+
+	if err := p("\nRAT # reflectance, absorption, transmittance\n"); err != nil {
+		return err
+	}
+	if err := p("%-12.6f # specular reflectance Rsp\n", r.Rsp); err != nil {
+		return err
+	}
+	if err := p("%-12.6f # diffuse reflectance Rd\n", r.Rd); err != nil {
+		return err
+	}
+	var totalA float64
+	for _, a := range r.Absorbed {
+		totalA += a
+	}
+	if err := p("%-12.6f # absorbed fraction A\n", totalA); err != nil {
+		return err
+	}
+	if err := p("%-12.6f # transmittance Tt\n", r.Tt); err != nil {
+		return err
+	}
+
+	if err := p("\nA_l # absorption per layer\n"); err != nil {
+		return err
+	}
+	for i, a := range r.Absorbed {
+		if err := p("%d %-12.6f\n", i, a); err != nil {
+			return err
+		}
+	}
+
+	if err := p("\nA_z # absorption density [1/cm], dz=%.4g\n", r.Cfg.DZ); err != nil {
+		return err
+	}
+	for i, a := range r.AZ {
+		if err := p("%-10.4g %-12.6g\n", (float64(i)+0.5)*r.Cfg.DZ, a); err != nil {
+			return err
+		}
+	}
+
+	if err := p("\nRd_r # diffuse reflectance density [1/cm^2], dr=%.4g\n", r.Cfg.DR); err != nil {
+		return err
+	}
+	for i, v := range r.RdR {
+		if err := p("%-10.4g %-12.6g\n", (float64(i)+0.5)*r.Cfg.DR, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+package photon
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+)
+
+func TestWriteReport(t *testing.T) {
+	tissue := ThreeLayerSkin()
+	gr, err := SimulateGrid(tissue, 2000, baselines.NewSplitMix64(3),
+		TallyConfig{DR: 0.05, NR: 4, DZ: 0.1, NZ: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteReport(&buf, tissue, gr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"RAT", "A_l", "A_z", "Rd_r", "specular", "layer 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// The grids must have the configured number of rows.
+	if got := strings.Count(out, "\n"); got < 4+4+4+3 {
+		t.Errorf("report suspiciously short (%d lines)", got)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n--
+	if f.n <= 0 {
+		return 0, io.ErrShortWrite
+	}
+	return len(p), nil
+}
+
+func TestWriteReportPropagatesErrors(t *testing.T) {
+	tissue := ThreeLayerSkin()
+	gr, err := SimulateGrid(tissue, 100, baselines.NewSplitMix64(4),
+		TallyConfig{DR: 0.1, NR: 2, DZ: 0.1, NZ: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReport(&failWriter{n: 2}, tissue, gr); err == nil {
+		t.Error("write failure must propagate")
+	}
+}

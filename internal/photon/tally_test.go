@@ -1,0 +1,125 @@
+package photon
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baselines"
+)
+
+func TestGridMatchesScalarTallies(t *testing.T) {
+	// The grid version must reproduce the scalar tallies exactly for
+	// the same seed (same draws, extra bookkeeping only).
+	tissue := ThreeLayerSkin()
+	a, err := Simulate(tissue, 5000, baselines.NewSplitMix64(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateGrid(tissue, 5000, baselines.NewSplitMix64(42),
+		TallyConfig{DR: 0.01, NR: 50, DZ: 0.01, NZ: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Rd-b.Rd) > 1e-12 || math.Abs(a.Tt-b.Tt) > 1e-12 {
+		t.Errorf("Rd/Tt diverge: %g/%g vs %g/%g", a.Rd, a.Tt, b.Rd, b.Tt)
+	}
+	if a.TotalSteps != b.TotalSteps {
+		t.Errorf("step counts diverge: %d vs %d", a.TotalSteps, b.TotalSteps)
+	}
+	for i := range a.Absorbed {
+		if math.Abs(a.Absorbed[i]-b.Absorbed[i]) > 1e-12 {
+			t.Errorf("layer %d absorption diverges", i)
+		}
+	}
+}
+
+func TestGridTalliesAccountForAllWeight(t *testing.T) {
+	tissue := ThreeLayerSkin()
+	cfg := TallyConfig{DR: 0.02, NR: 60, DZ: 0.005, NZ: 200}
+	gr, err := SimulateGrid(tissue, 10000, baselines.NewSplitMix64(7), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Σ RdR·ringArea must equal Rd.
+	var rd float64
+	for i, v := range gr.RdR {
+		r := (float64(i) + 0.5) * cfg.DR
+		rd += v * 2 * math.Pi * r * cfg.DR
+	}
+	if math.Abs(rd-gr.Rd) > 1e-9 {
+		t.Errorf("Σ RdR = %g, Rd = %g", rd, gr.Rd)
+	}
+	// Σ AZ·dz must equal ΣA over layers.
+	var az, al float64
+	for _, v := range gr.AZ {
+		az += v * cfg.DZ
+	}
+	for _, v := range gr.Absorbed {
+		al += v
+	}
+	// Pathological max-step deposits bypass the z grid; tolerance
+	// covers them.
+	if math.Abs(az-al) > 0.01 {
+		t.Errorf("Σ AZ = %g, ΣA = %g", az, al)
+	}
+}
+
+func TestGridRdFallsWithRadius(t *testing.T) {
+	// Rd(r) must be a decreasing-ish profile: the innermost rings
+	// carry far more per-area weight than the outer ones.
+	tissue := ThreeLayerSkin()
+	cfg := TallyConfig{DR: 0.01, NR: 40, DZ: 0.01, NZ: 80}
+	gr, err := SimulateGrid(tissue, 20000, baselines.NewSplitMix64(9), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.RdR[0] <= gr.RdR[20] {
+		t.Errorf("Rd(r) not peaked at the beam: RdR[0]=%g RdR[20]=%g", gr.RdR[0], gr.RdR[20])
+	}
+}
+
+func TestGridAZPeaksNearSurfaceForAbsorbingTopLayer(t *testing.T) {
+	// The three-layer skin has a strongly absorbing thin epidermis:
+	// absorption density near z=0 must exceed the deep tail.
+	tissue := ThreeLayerSkin()
+	cfg := TallyConfig{DR: 0.05, NR: 20, DZ: 0.002, NZ: 300}
+	gr, err := SimulateGrid(tissue, 20000, baselines.NewSplitMix64(11), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.AZ[0] <= gr.AZ[250] {
+		t.Errorf("A(z) should peak near the surface: AZ[0]=%g AZ[250]=%g", gr.AZ[0], gr.AZ[250])
+	}
+}
+
+func TestBeerLambertLimit(t *testing.T) {
+	// Pure absorber (µs ≈ 0), matched boundaries: the simulated
+	// transmittance must match exp(−µa·d) closely. (µs must be tiny
+	// but non-zero to keep the layer valid; its effect is second
+	// order.)
+	tissue, err := NewTissue(1, 1, []Layer{{Mua: 2.0, Mus: 1e-9, G: 0, N: 1, Thickness: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BeerLambertTransmittance(tissue) // e^{-1} ≈ 0.3679
+	res, err := Simulate(tissue, 100000, baselines.NewSplitMix64(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Tt-want) > 0.01 {
+		t.Errorf("Tt = %.4f, Beer–Lambert = %.4f", res.Tt, want)
+	}
+	if math.Abs(want-math.Exp(-1)) > 1e-6 {
+		t.Errorf("analytic helper wrong: %g", want)
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	tissue := ThreeLayerSkin()
+	if _, err := SimulateGrid(tissue, 0, baselines.NewSplitMix64(1), TallyConfig{DR: 1, NR: 1, DZ: 1, NZ: 1}); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := SimulateGrid(tissue, 10, baselines.NewSplitMix64(1), TallyConfig{}); err == nil {
+		t.Error("zero grid should fail")
+	}
+}

@@ -1,0 +1,181 @@
+// Package rng defines the generator interfaces shared by the hybrid
+// PRNG, the baseline generators and the statistical test batteries,
+// plus small adapters for extracting floats, bounded integers and
+// bit fields from a raw 64-bit stream.
+package rng
+
+import "math"
+
+// Source is the minimal interface every generator in this repository
+// implements: a stream of independent, uniformly distributed 64-bit
+// words.
+type Source interface {
+	// Uint64 returns the next 64-bit word of the stream.
+	Uint64() uint64
+}
+
+// Seeder is implemented by generators that can be re-seeded in place.
+type Seeder interface {
+	Seed(seed uint64)
+}
+
+// Named is implemented by generators that know their display name;
+// the cmd/ tools use it for reporting.
+type Named interface {
+	Name() string
+}
+
+// Float64 converts the next word of src into a float64 uniform on
+// [0, 1) using the top 53 bits.
+func Float64(src Source) float64 {
+	return float64(src.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 converts the next word of src into a float32 uniform on
+// [0, 1) using the top 24 bits.
+func Float32(src Source) float32 {
+	return float32(src.Uint64()>>40) / (1 << 24)
+}
+
+// Uint32 returns the high 32 bits of the next word. Tests that
+// consume 32-bit values take the high half because low bits of some
+// historical generators (LCGs) are the weak ones, and DIEHARD was
+// specified over 32-bit words.
+func Uint32(src Source) uint32 {
+	return uint32(src.Uint64() >> 32)
+}
+
+// Uint64n returns a uniform integer in [0, n) by Lemire-style
+// rejection (multiply-shift with a bias-elimination retry loop).
+// n must be positive.
+func Uint64n(src Source, n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	if n&(n-1) == 0 { // power of two
+		return src.Uint64() & (n - 1)
+	}
+	// Classical rejection on the top range to avoid modulo bias.
+	max := math.MaxUint64 - math.MaxUint64%n
+	for {
+		v := src.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate via the polar
+// (Marsaglia) method. Used by example applications.
+func NormFloat64(src Source) float64 {
+	for {
+		u := 2*Float64(src) - 1
+		v := 2*Float64(src) - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// BitReader extracts consecutive bit fields from a Source, most
+// significant bits of each word first. It is the software analogue of
+// the paper's "bin" stream: the CPU FEED produces raw words and the
+// walker peels 3 bits per step.
+type BitReader struct {
+	src  Source
+	word uint64
+	left uint // bits remaining in word
+}
+
+// NewBitReader returns a BitReader over src.
+func NewBitReader(src Source) *BitReader {
+	return &BitReader{src: src}
+}
+
+// Bits returns the next n bits (0 < n ≤ 64) as the low bits of the
+// result.
+func (b *BitReader) Bits(n uint) uint64 {
+	if n == 0 || n > 64 {
+		panic("rng: BitReader.Bits n out of range")
+	}
+	var out uint64
+	need := n
+	for need > 0 {
+		if b.left == 0 {
+			b.word = b.src.Uint64()
+			b.left = 64
+		}
+		take := need
+		if take > b.left {
+			take = b.left
+		}
+		// Take the top `take` bits of the remaining window.
+		shift := b.left - take
+		chunk := (b.word >> shift) & ((1 << take) - 1)
+		out = out<<take | chunk
+		b.left -= take
+		need -= take
+	}
+	return out
+}
+
+// Bit returns the next single bit.
+func (b *BitReader) Bit() uint64 { return b.Bits(1) }
+
+// Source returns the underlying word source.
+func (b *BitReader) Source() Source { return b.src }
+
+// State exposes the reader's buffered word and the count of its
+// still-unread low bits — everything needed (with the source's own
+// state) to checkpoint a stream mid-word.
+func (b *BitReader) State() (word uint64, left uint) { return b.word, b.left }
+
+// SetState restores a checkpointed buffer; left must be ≤ 64.
+func (b *BitReader) SetState(word uint64, left uint) {
+	if left > 64 {
+		panic("rng: BitReader.SetState left > 64")
+	}
+	b.word, b.left = word, left
+}
+
+// WordsConsumed is unavailable on BitReader by design: callers that
+// need accounting wrap the Source with a CountingSource.
+
+// Lanes32 adapts a 64-bit source to a stream of 32-bit lanes, high
+// half of each word first. Statistical batteries consume lanes
+// because the classic tests were specified over 32-bit words and
+// because several historical generators hide their defects in the
+// low half of a packed 64-bit output.
+func Lanes32(src Source) func() uint32 {
+	var word uint64
+	var have bool
+	return func() uint32 {
+		if have {
+			have = false
+			return uint32(word)
+		}
+		word = src.Uint64()
+		have = true
+		return uint32(word >> 32)
+	}
+}
+
+// CountingSource wraps a Source and counts the words drawn from it.
+type CountingSource struct {
+	Src   Source
+	Count uint64
+}
+
+// Uint64 draws from the wrapped source and increments the counter.
+func (c *CountingSource) Uint64() uint64 {
+	c.Count++
+	return c.Src.Uint64()
+}
+
+// Func adapts a plain function to a Source.
+type Func func() uint64
+
+// Uint64 invokes the function.
+func (f Func) Uint64() uint64 { return f() }

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareCDF returns P[X ≤ x] for X ~ χ²(df).
+func ChiSquareCDF(x float64, df float64) float64 {
+	if x <= 0 || df <= 0 {
+		return 0
+	}
+	p, err := GammaP(df/2, x/2)
+	if err != nil {
+		return math.NaN()
+	}
+	return p
+}
+
+// ChiSquareSurvival returns P[X > x] for X ~ χ²(df), i.e. the upper
+// tail used as the classic chi-square goodness-of-fit p-value.
+func ChiSquareSurvival(x float64, df float64) float64 {
+	if x <= 0 || df <= 0 {
+		return 1
+	}
+	q, err := GammaQ(df/2, x/2)
+	if err != nil {
+		return math.NaN()
+	}
+	return q
+}
+
+// ChiSquareResult bundles the outcome of a chi-square goodness-of-fit
+// test.
+type ChiSquareResult struct {
+	Statistic float64 // Pearson X² statistic
+	DF        float64 // degrees of freedom
+	P         float64 // CDF value P[X ≤ stat]; uniform under H0
+}
+
+// Survival returns the upper-tail probability of the statistic.
+func (r ChiSquareResult) Survival() float64 { return 1 - r.P }
+
+func (r ChiSquareResult) String() string {
+	return fmt.Sprintf("chisq=%.4f df=%.0f p=%.6f", r.Statistic, r.DF, r.P)
+}
+
+// ChiSquare computes Pearson's goodness-of-fit test between observed
+// counts and expected counts. Categories with expected count below
+// minExpected are pooled with their right neighbour (and the final
+// run pooled leftwards), the standard remedy for sparse cells.
+// df = pooledCategories - 1 - dfAdjust (dfAdjust accounts for
+// parameters estimated from the data; pass 0 when none).
+func ChiSquare(observed []float64, expected []float64, minExpected float64, dfAdjust int) (ChiSquareResult, error) {
+	if len(observed) != len(expected) {
+		return ChiSquareResult{}, fmt.Errorf("stats: chisq length mismatch %d != %d", len(observed), len(expected))
+	}
+	if len(observed) == 0 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chisq on empty data")
+	}
+	obs, exp := poolCells(observed, expected, minExpected)
+	if len(obs) < 2 {
+		return ChiSquareResult{}, fmt.Errorf("stats: chisq has fewer than 2 cells after pooling")
+	}
+	var x2 float64
+	for i := range obs {
+		if exp[i] <= 0 {
+			return ChiSquareResult{}, fmt.Errorf("stats: chisq expected[%d] = %g not positive", i, exp[i])
+		}
+		d := obs[i] - exp[i]
+		x2 += d * d / exp[i]
+	}
+	df := float64(len(obs) - 1 - dfAdjust)
+	if df < 1 {
+		df = 1
+	}
+	return ChiSquareResult{Statistic: x2, DF: df, P: ChiSquareCDF(x2, df)}, nil
+}
+
+// poolCells merges adjacent cells until every expected count reaches
+// minExpected. It walks left to right accumulating; a trailing
+// under-filled accumulator is merged into the previous pooled cell.
+func poolCells(observed, expected []float64, minExpected float64) (obs, exp []float64) {
+	if minExpected <= 0 {
+		return append([]float64(nil), observed...), append([]float64(nil), expected...)
+	}
+	var accO, accE float64
+	for i := range observed {
+		accO += observed[i]
+		accE += expected[i]
+		if accE >= minExpected {
+			obs = append(obs, accO)
+			exp = append(exp, accE)
+			accO, accE = 0, 0
+		}
+	}
+	if accE > 0 {
+		if len(obs) == 0 {
+			obs = append(obs, accO)
+			exp = append(exp, accE)
+		} else {
+			obs[len(obs)-1] += accO
+			exp[len(exp)-1] += accE
+		}
+	}
+	return obs, exp
+}
+
+// ChiSquareUniformBins tests whether the values, all expected to lie
+// in [0,1), are uniformly distributed across nbins equiprobable bins.
+func ChiSquareUniformBins(values []float64, nbins int) (ChiSquareResult, error) {
+	if nbins < 2 {
+		return ChiSquareResult{}, fmt.Errorf("stats: need at least 2 bins, got %d", nbins)
+	}
+	counts := make([]float64, nbins)
+	for _, v := range values {
+		idx := int(v * float64(nbins))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nbins {
+			idx = nbins - 1
+		}
+		counts[idx]++
+	}
+	expected := make([]float64, nbins)
+	e := float64(len(values)) / float64(nbins)
+	for i := range expected {
+		expected[i] = e
+	}
+	return ChiSquare(counts, expected, 5, 0)
+}

@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// FisherCombine combines independent p-values by Fisher's method:
+// −2 Σ ln pᵢ ~ χ²(2k) under H0. It returns the combined upper-tail
+// p-value — small when the inputs are collectively too small — and
+// complements the KS combination the batteries use (KS is sensitive
+// to both tails; Fisher concentrates power against the small-p
+// alternative).
+func FisherCombine(ps []float64) (float64, error) {
+	if len(ps) == 0 {
+		return 0, fmt.Errorf("stats: Fisher combination of no p-values")
+	}
+	var stat float64
+	for i, p := range ps {
+		if p <= 0 || p > 1 {
+			return 0, fmt.Errorf("stats: p-value %d = %g outside (0, 1]", i, p)
+		}
+		stat += -2 * math.Log(p)
+	}
+	return ChiSquareSurvival(stat, float64(2*len(ps))), nil
+}
+
+// StoufferCombine combines independent p-values by Stouffer's
+// Z-method: Σ Φ⁻¹(pᵢ)/√k ~ N(0,1). It returns the combined CDF
+// value (uniform under H0), symmetric in both tails — useful when
+// clusters of suspiciously LARGE p-values must also be caught.
+func StoufferCombine(ps []float64) (float64, error) {
+	if len(ps) == 0 {
+		return 0, fmt.Errorf("stats: Stouffer combination of no p-values")
+	}
+	var z float64
+	for i, p := range ps {
+		if p <= 0 || p >= 1 {
+			return 0, fmt.Errorf("stats: p-value %d = %g outside (0, 1)", i, p)
+		}
+		z += NormalQuantile(p)
+	}
+	return NormalCDF(z / math.Sqrt(float64(len(ps)))), nil
+}
+
+// NormalQuantile returns Φ⁻¹(p), the standard normal quantile, via
+// the Acklam rational approximation refined by one Halley step —
+// accurate to ≈ 1e-15 over (0, 1).
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam's coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement against the exact CDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}

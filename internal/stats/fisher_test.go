@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-10, 0.001, 0.02425, 0.2, 0.5, 0.8, 0.999, 1 - 1e-10} {
+		x := NormalQuantile(p)
+		if got := NormalCDF(x); math.Abs(got-p) > 1e-12 {
+			t.Errorf("CDF(Quantile(%g)) = %g", p, got)
+		}
+	}
+	if NormalQuantile(0.5) != 0 && math.Abs(NormalQuantile(0.5)) > 1e-12 {
+		t.Errorf("Quantile(0.5) = %g", NormalQuantile(0.5))
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("quantile endpoints must be infinite")
+	}
+	// Known value: Φ⁻¹(0.975) = 1.959963985…
+	if math.Abs(NormalQuantile(0.975)-1.959963984540054) > 1e-9 {
+		t.Errorf("Quantile(0.975) = %.12f", NormalQuantile(0.975))
+	}
+}
+
+func TestFisherCombineUniformInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Combined p of uniforms should itself be uniform: check it is
+	// not systematically extreme over many trials.
+	extreme := 0
+	const trials = 500
+	for tr := 0; tr < trials; tr++ {
+		ps := make([]float64, 10)
+		for i := range ps {
+			ps[i] = rng.Float64()
+		}
+		c, err := FisherCombine(ps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < 0.01 {
+			extreme++
+		}
+	}
+	// Expect ≈ 1% ⇒ ~5 of 500; allow generous slack.
+	if extreme > 20 {
+		t.Errorf("Fisher flagged %d/%d uniform batches", extreme, trials)
+	}
+}
+
+func TestFisherCombineDetectsSmallPs(t *testing.T) {
+	ps := []float64{0.001, 0.002, 0.004, 0.003, 0.001}
+	c, err := FisherCombine(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > 1e-8 {
+		t.Errorf("Fisher combined = %g for blatantly small inputs", c)
+	}
+}
+
+func TestFisherCombineValidation(t *testing.T) {
+	if _, err := FisherCombine(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := FisherCombine([]float64{0}); err == nil {
+		t.Error("p = 0 should fail")
+	}
+	if _, err := FisherCombine([]float64{1.5}); err == nil {
+		t.Error("p > 1 should fail")
+	}
+}
+
+func TestStoufferCombine(t *testing.T) {
+	// Symmetric: the combination of {p, 1−p} is 0.5.
+	c, err := StoufferCombine([]float64{0.2, 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-0.5) > 1e-9 {
+		t.Errorf("Stouffer({0.2, 0.8}) = %g, want 0.5", c)
+	}
+	// A cluster of large p-values lands near 1 (which Fisher cannot
+	// flag).
+	c, err = StoufferCombine([]float64{0.99, 0.995, 0.99, 0.992})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 0.999 {
+		t.Errorf("Stouffer on large-p cluster = %g", c)
+	}
+	if _, err := StoufferCombine(nil); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := StoufferCombine([]float64{1}); err == nil {
+		t.Error("p = 1 should fail for Stouffer")
+	}
+}

@@ -1,0 +1,59 @@
+package stats
+
+import "math"
+
+// GF2RankProb returns the probability that a uniformly random m×n
+// binary matrix over GF(2) has rank r:
+//
+//	P(r) = 2^{r(m+n−r)−mn} · Π_{i=0}^{r−1} (1−2^{i−m})(1−2^{i−n}) / (1−2^{i−r})
+func GF2RankProb(m, n, r int) float64 {
+	if r < 0 || r > m || r > n {
+		return 0
+	}
+	logp := float64(r*(m+n-r)-m*n) * math.Ln2
+	prod := 0.0
+	for i := 0; i < r; i++ {
+		prod += math.Log1p(-math.Exp2(float64(i-m))) +
+			math.Log1p(-math.Exp2(float64(i-n))) -
+			math.Log1p(-math.Exp2(float64(i-r)))
+	}
+	return math.Exp(logp + prod)
+}
+
+// GF2Rank computes the rank over GF(2) of a matrix given as rows of
+// packed 64-bit words: row i occupies rows[i*stride : (i+1)*stride],
+// least significant word first, with `cols` meaningful columns. The
+// input is not modified.
+func GF2Rank(rows [][]uint64, cols int) int {
+	if len(rows) == 0 || cols <= 0 {
+		return 0
+	}
+	work := make([][]uint64, len(rows))
+	for i, r := range rows {
+		work[i] = append([]uint64(nil), r...)
+	}
+	rank := 0
+	for col := 0; col < cols && rank < len(work); col++ {
+		w, b := col/64, uint(col%64)
+		pivot := -1
+		for i := rank; i < len(work); i++ {
+			if work[i][w]>>b&1 == 1 {
+				pivot = i
+				break
+			}
+		}
+		if pivot < 0 {
+			continue
+		}
+		work[rank], work[pivot] = work[pivot], work[rank]
+		for i := 0; i < len(work); i++ {
+			if i != rank && work[i][w]>>b&1 == 1 {
+				for j := range work[i] {
+					work[i][j] ^= work[rank][j]
+				}
+			}
+		}
+		rank++
+	}
+	return rank
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-range equal-width histogram over [Min, Max).
+type Histogram struct {
+	Min, Max float64
+	Counts   []uint64
+	Under    uint64 // observations below Min
+	Over     uint64 // observations at or above Max
+	total    uint64
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins over
+// [min, max).
+func NewHistogram(min, max float64, nbins int) (*Histogram, error) {
+	if nbins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 bin, got %d", nbins)
+	}
+	if !(min < max) {
+		return nil, fmt.Errorf("stats: histogram range [%g, %g) is empty", min, max)
+	}
+	return &Histogram{Min: min, Max: max, Counts: make([]uint64, nbins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case v < h.Min:
+		h.Under++
+	case v >= h.Max:
+		h.Over++
+	default:
+		idx := int((v - h.Min) / (h.Max - h.Min) * float64(len(h.Counts)))
+		if idx >= len(h.Counts) { // guard against FP rounding at the edge
+			idx = len(h.Counts) - 1
+		}
+		h.Counts[idx]++
+	}
+}
+
+// Total returns the number of observations recorded, including
+// under/overflow.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Mean returns the midpoint-weighted mean of the in-range
+// observations.
+func (h *Histogram) Mean() float64 {
+	var sum, n float64
+	width := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		mid := h.Min + (float64(i)+0.5)*width
+		sum += mid * float64(c)
+		n += float64(c)
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / n
+}
+
+// ChiSquareUniform tests the in-range counts against a uniform
+// expectation.
+func (h *Histogram) ChiSquareUniform() (ChiSquareResult, error) {
+	obs := make([]float64, len(h.Counts))
+	var total float64
+	for i, c := range h.Counts {
+		obs[i] = float64(c)
+		total += float64(c)
+	}
+	exp := make([]float64, len(h.Counts))
+	for i := range exp {
+		exp[i] = total / float64(len(exp))
+	}
+	return ChiSquare(obs, exp, 5, 0)
+}
+
+// SummaryStats accumulates running mean/variance/extrema using
+// Welford's algorithm. The zero value is ready to use.
+type SummaryStats struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *SummaryStats) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N returns the number of observations.
+func (s *SummaryStats) N() uint64 { return s.n }
+
+// Mean returns the running mean.
+func (s *SummaryStats) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *SummaryStats) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *SummaryStats) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *SummaryStats) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *SummaryStats) Max() float64 { return s.max }

@@ -1,0 +1,88 @@
+package testu01
+
+import (
+	"testing"
+
+	"repro/internal/baselines"
+)
+
+func BenchmarkBerlekampMassey(b *testing.B) {
+	for _, n := range []int{2000, 8000, 44032} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			src := baselines.NewSplitMix64(1)
+			seq := newBitSeq(n)
+			for j := 0; j < n; j += 64 {
+				w := src.Uint64()
+				for k := 0; k < 64 && j+k < n; k++ {
+					seq.set(j+k, w>>uint(k))
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				berlekampMassey(seq, n)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000:
+		return itoa(n/1000) + "k-bits"
+	default:
+		return itoa(n) + "-bits"
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func BenchmarkFFT4096(b *testing.B) {
+	src := baselines.NewSplitMix64(2)
+	a := make([]complex128, 4096)
+	for i := range a {
+		if src.Uint64()&1 == 1 {
+			a[i] = 1
+		} else {
+			a[i] = -1
+		}
+	}
+	work := make([]complex128, len(a))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, a)
+		fft(work)
+	}
+}
+
+func BenchmarkSmallCrush(b *testing.B) {
+	battery := SmallCrush()
+	for i := 0; i < b.N; i++ {
+		out := battery.Run("splitmix64", baselines.NewSplitMix64(uint64(i)))
+		if out.Total != 15 {
+			b.Fatal("battery shrank")
+		}
+	}
+}
+
+func BenchmarkGF2RankViaMatrixTest(b *testing.B) {
+	src := baselines.NewSplitMix64(3)
+	for i := 0; i < b.N; i++ {
+		// 20 matrices keep the chi-square cells populated enough to
+		// evaluate; the rank computation dominates the cost.
+		if _, err := matrixRank(src, 256, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

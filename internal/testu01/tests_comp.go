@@ -1,0 +1,226 @@
+package testu01
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// guardWords pads the packed sequence below index 0 so the windowed
+// discrepancy fetch never bounds-checks.
+const guardWords = 2
+
+// bitSeq is a bit sequence packed LSB-first into 64-bit words with
+// two guard words of zeros in front.
+type bitSeq struct {
+	words []uint64
+	n     int
+}
+
+func newBitSeq(n int) *bitSeq {
+	return &bitSeq{words: make([]uint64, guardWords+(n+63)/64+1), n: n}
+}
+
+func (b *bitSeq) set(j int, v uint64) {
+	if v&1 == 1 {
+		b.words[guardWords+j/64] |= 1 << (j % 64)
+	}
+}
+
+// fetch64 returns the natural-order 64-bit window whose bit t is
+// sequence bit start+t; start may be as low as −128.
+func (b *bitSeq) fetch64(start int) uint64 {
+	idx := start + guardWords*64
+	w, off := idx/64, uint(idx%64)
+	lo := b.words[w] >> off
+	if off == 0 {
+		return lo
+	}
+	return lo | b.words[w+1]<<(64-off)
+}
+
+// berlekampMassey returns the linear complexity of the first n bits
+// of s and the number of complexity jumps along the way, using a
+// word-packed implementation: the per-step discrepancy is a
+// 64-bit-parallel dot product between the connection polynomial and
+// the bit-reversed trailing window of the sequence. For random bits
+// the jump count is approximately N(n/4, n/8) (empirically
+// recalibrated; see the package tests).
+func berlekampMassey(s *bitSeq, n int) (complexity, jumps int) {
+	words := n/64 + 2
+	c := make([]uint64, words)
+	bpoly := make([]uint64, words)
+	c[0], bpoly[0] = 1, 1
+	L, m := 0, 1
+	tmp := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		// d = Σ_{k=0}^{L} c_k · s_{i−k}  (c_0 = 1).
+		var acc uint64
+		cw := L/64 + 1
+		for w := 0; w < cw; w++ {
+			win := s.fetch64(i - 64*w - 63)
+			acc ^= c[w] & bits.Reverse64(win)
+		}
+		if bits.OnesCount64(acc)%2 == 1 {
+			// c ^= bpoly << m
+			copy(tmp, c)
+			wShift, bShift := m/64, uint(m%64)
+			top := (L+m)/64 + 1
+			if top >= words {
+				top = words - 1
+			}
+			for w := 0; w+wShift < words; w++ {
+				v := bpoly[w]
+				if v == 0 {
+					continue
+				}
+				c[w+wShift] ^= v << bShift
+				if bShift != 0 && w+wShift+1 < words {
+					c[w+wShift+1] ^= v >> (64 - bShift)
+				}
+			}
+			if 2*L <= i {
+				L = i + 1 - L
+				jumps++
+				copy(bpoly, tmp)
+				m = 1
+			} else {
+				m++
+			}
+		} else {
+			m++
+		}
+	}
+	return L, jumps
+}
+
+// nistLCProbs are the NIST SP 800-22 linear-complexity cell
+// probabilities for T ≤ −2.5, …, T > 2.5.
+var nistLCProbs = []float64{0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833}
+
+// linearComplexity runs Berlekamp–Massey on `blocks` sequences of
+// `nbits` bits — one designated bit (the top bit of each 32-bit
+// lane) per generator output, exactly like TestU01's scomp_LinearComp
+// with s = 1 — and chi-squares the NIST T statistic against its law.
+// GF(2)-linear generators whose per-lane bit streams obey a linear
+// recurrence of degree < nbits/2 lock at their true degree, sending
+// every T to the extreme cell: the TestU01 Crush/BigCrush failure
+// mode of the Mersenne Twister (nbits must exceed twice the
+// generator's state bits to expose it; Crush uses 44000 > 2·19937).
+func linearComplexity(src rng.Source, nbits, blocks int) ([]float64, error) {
+	if nbits < 128 {
+		return nil, fmt.Errorf("testu01: linear complexity needs ≥ 128 bits, got %d", nbits)
+	}
+	mu := float64(nbits)/2 + (9+math.Pow(-1, float64(nbits+1)))/36
+	sign := 1.0
+	if nbits%2 == 1 {
+		sign = -1
+	}
+	lane := rng.Lanes32(src)
+	counts := make([]float64, 7)
+	var jumpPs []float64
+	sigmaJ := math.Sqrt(float64(nbits) / 8)
+	for b := 0; b < blocks; b++ {
+		seq := newBitSeq(nbits)
+		for j := 0; j < nbits; j++ {
+			seq.set(j, uint64(lane()>>31))
+		}
+		L, jumps := berlekampMassey(seq, nbits)
+		T := sign*(float64(L)-mu) + 2.0/9
+		cell := int(math.Floor(T+2.5)) + 1
+		if cell < 0 {
+			cell = 0
+		}
+		if cell > 6 {
+			cell = 6
+		}
+		counts[cell]++
+		// Jump-count statistic: smooth and normal, so a generator
+		// that locks below nbits/2 fails catastrophically here even
+		// with few blocks (the cell chi-square needs many blocks to
+		// resolve its extreme cells).
+		zJ := (float64(jumps) - float64(nbits)/4) / sigmaJ
+		jumpPs = append(jumpPs, stats.NormalCDF(zJ))
+	}
+	expected := make([]float64, 7)
+	for i, p := range nistLCProbs {
+		expected[i] = p * float64(blocks)
+	}
+	res, err := stats.ChiSquare(counts, expected, 2, 0)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64{res.P}, jumpPs...), nil
+}
+
+// fft performs an in-place radix-2 Cooley–Tukey FFT; len(a) must be
+// a power of two.
+func fft(a []complex128) {
+	n := len(a)
+	if n&(n-1) != 0 {
+		panic("testu01: fft length must be a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := a[i+j]
+				v := a[i+j+length/2] * w
+				a[i+j] = u + v
+				a[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// spectralDFT is the NIST discrete-Fourier-transform test: the
+// fraction of DFT peaks of a ±1 sequence below the 95% threshold
+// must be ≈ 0.95 (sspectral_Fourier3 flavour). One p-value per
+// repetition.
+func spectralDFT(src rng.Source, nbits, reps int) ([]float64, error) {
+	if nbits < 64 || nbits&(nbits-1) != 0 {
+		return nil, fmt.Errorf("testu01: spectral size %d must be a power of two ≥ 64", nbits)
+	}
+	br := rng.NewBitReader(src)
+	threshold := math.Sqrt(math.Log(1/0.05) * float64(nbits))
+	var ps []float64
+	a := make([]complex128, nbits)
+	for r := 0; r < reps; r++ {
+		for i := 0; i < nbits; i++ {
+			if br.Bit() == 1 {
+				a[i] = 1
+			} else {
+				a[i] = -1
+			}
+		}
+		fft(a)
+		below := 0
+		for j := 0; j < nbits/2; j++ {
+			if cmplx.Abs(a[j]) < threshold {
+				below++
+			}
+		}
+		n0 := 0.95 * float64(nbits) / 2
+		d := (float64(below) - n0) / math.Sqrt(float64(nbits)*0.95*0.05/4)
+		ps = append(ps, stats.NormalCDF(d))
+	}
+	return ps, nil
+}

@@ -1,0 +1,118 @@
+package testu01
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// autocorrelation XORs the bit stream with itself at the given lag
+// and z-tests the ones count against Binomial(n, ½)
+// (sstring_AutoCor flavour). Periodic or sluggish generators light
+// up at their characteristic lags.
+func autocorrelation(src rng.Source, lag, nbits int) ([]float64, error) {
+	if lag < 1 || nbits < 64 {
+		return nil, fmt.Errorf("testu01: autocorrelation lag=%d nbits=%d invalid", lag, nbits)
+	}
+	br := rng.NewBitReader(src)
+	// Ring buffer of the last `lag` bits.
+	ring := make([]uint64, lag)
+	for i := range ring {
+		ring[i] = br.Bit()
+	}
+	ones := 0
+	for i := 0; i < nbits; i++ {
+		b := br.Bit()
+		if b^ring[i%lag] == 1 {
+			ones++
+		}
+		ring[i%lag] = b
+	}
+	mean := float64(nbits) / 2
+	sd := math.Sqrt(float64(nbits) / 4)
+	return []float64{stats.NormalCDF((float64(ones) - mean) / sd)}, nil
+}
+
+// sumCollector draws uniforms until their sum exceeds 1 and records
+// how many draws were needed. The law is exact:
+// P(N > n) = P(U₁+…+Uₙ ≤ 1) = 1/n!, so P(N = n) = (n−1)/n!
+// (svaria_SumCollector with threshold 1 — the classic "e by
+// simulation" distribution, E[N] = e).
+func sumCollector(src rng.Source, segments int) ([]float64, error) {
+	if segments < 100 {
+		return nil, fmt.Errorf("testu01: sum collector needs ≥ 100 segments, got %d", segments)
+	}
+	const maxN = 12 // tail pooled; P(N > 12) = 1/12! ≈ 2e-9
+	counts := make([]float64, maxN+1)
+	for s := 0; s < segments; s++ {
+		sum := 0.0
+		n := 0
+		for sum <= 1 && n < maxN {
+			sum += rng.Float64(src)
+			n++
+		}
+		counts[n]++
+	}
+	expected := make([]float64, maxN+1)
+	f := make([]float64, maxN+1) // factorials
+	f[0] = 1
+	for i := 1; i <= maxN; i++ {
+		f[i] = f[i-1] * float64(i)
+	}
+	cum := 0.0
+	for n := 2; n < maxN; n++ {
+		p := float64(n-1) / f[n]
+		expected[n] = p * float64(segments)
+		cum += p
+	}
+	expected[maxN] = (1 - cum) * float64(segments)
+	res, err := stats.ChiSquare(counts[2:], expected[2:], 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// hammingCorrelation z-tests the covariance of successive
+// non-overlapping word weights; independent weights have correlation
+// 0 with variance 1/n for the normalised statistic
+// (sstring_HammingCorr flavour).
+func hammingCorrelation(src rng.Source, words int) ([]float64, error) {
+	if words < 100 {
+		return nil, fmt.Errorf("testu01: hamming correlation needs ≥ 100 words, got %d", words)
+	}
+	// Weight of a 64-bit word: mean 32, variance 16.
+	prev := bits.OnesCount64(src.Uint64())
+	var acc float64
+	for i := 1; i < words; i++ {
+		cur := bits.OnesCount64(src.Uint64())
+		acc += (float64(prev) - 32) * (float64(cur) - 32)
+		prev = cur
+	}
+	n := float64(words - 1)
+	// Var of each product term is 16·16 = 256.
+	z := acc / math.Sqrt(n*256)
+	return []float64{stats.NormalCDF(z)}, nil
+}
+
+// Extended returns the supplementary battery: tests beyond the
+// paper's 15-test reporting, useful for deeper quality work
+// (autocorrelation at several lags, the sum-collector law, Hamming
+// correlation, bit-run lengths, the walk-maximum reflection law,
+// 4-permutations and Knuth's serial correlation).
+func Extended() Battery {
+	return Battery{Name: "Extended", Tests: []Test{
+		{"autocorrelation-lag1", func(s rng.Source) ([]float64, error) { return autocorrelation(s, 1, 1<<20) }},
+		{"autocorrelation-lag2", func(s rng.Source) ([]float64, error) { return autocorrelation(s, 2, 1<<20) }},
+		{"autocorrelation-lag32", func(s rng.Source) ([]float64, error) { return autocorrelation(s, 32, 1<<20) }},
+		{"sum-collector", func(s rng.Source) ([]float64, error) { return sumCollector(s, 100000) }},
+		{"hamming-correlation", func(s rng.Source) ([]float64, error) { return hammingCorrelation(s, 500000) }},
+		{"bit-run-lengths", func(s rng.Source) ([]float64, error) { return bitRunLengths(s, 200000) }},
+		{"random-walk-max", func(s rng.Source) ([]float64, error) { return randomWalkM(s, 64, 50000) }},
+		{"permutation-4", func(s rng.Source) ([]float64, error) { return permutation4(s, 120000) }},
+		{"serial-correlation", func(s rng.Source) ([]float64, error) { return serialCorrelation(s, 500000) }},
+	}}
+}

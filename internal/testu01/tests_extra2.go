@@ -1,0 +1,196 @@
+package testu01
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// bitRunLengths collects the lengths of maximal runs (of ones and of
+// zeros) in the bit stream; run lengths are exactly Geometric(½):
+// P(len = k) = 2^-k (sstring_Run flavour). One chi-square per bit
+// value.
+func bitRunLengths(src rng.Source, runs int) ([]float64, error) {
+	if runs < 1000 {
+		return nil, fmt.Errorf("testu01: bit runs needs ≥ 1000 runs, got %d", runs)
+	}
+	const maxLen = 16 // tail pooled
+	br := rng.NewBitReader(src)
+	counts := [2][]float64{make([]float64, maxLen+1), make([]float64, maxLen+1)}
+	collected := 0
+	cur := br.Bit()
+	length := 1
+	for collected < runs {
+		b := br.Bit()
+		if b == cur {
+			length++
+			continue
+		}
+		l := length
+		if l > maxLen {
+			l = maxLen
+		}
+		counts[cur][l]++
+		collected++
+		cur = b
+		length = 1
+	}
+	var ps []float64
+	for v := 0; v < 2; v++ {
+		var total float64
+		for _, c := range counts[v] {
+			total += c
+		}
+		if total == 0 {
+			continue
+		}
+		expected := make([]float64, maxLen+1)
+		cum := 0.0
+		for k := 1; k < maxLen; k++ {
+			p := math.Exp2(-float64(k))
+			expected[k] = p * total
+			cum += p
+		}
+		expected[maxLen] = (1 - cum) * total
+		res, err := stats.ChiSquare(counts[v][1:], expected[1:], 5, 0)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, res.P)
+	}
+	return ps, nil
+}
+
+// walkMaxProbs returns P(M = m) for the one-sided maximum
+// M = max_i S_i of an l-step simple symmetric walk, via the
+// reflection principle: P(M ≥ m) = P(S_l ≥ m) + P(S_l ≥ m+1).
+func walkMaxProbs(l int) []float64 {
+	// P(S_l ≥ s) with S_l = 2K − l, K ~ Binomial(l, ½):
+	// S_l ≥ s ⇔ K ≥ ⌈(l+s)/2⌉.
+	tail := func(s int) float64 {
+		kMin := (l + s + 1) / 2
+		if kMin < 0 {
+			kMin = 0
+		}
+		if kMin > l {
+			return 0
+		}
+		sum := 0.0
+		for k := kMin; k <= l; k++ {
+			sum += math.Exp(stats.BinomialLogPMF(l, k, 0.5))
+		}
+		return sum
+	}
+	probs := make([]float64, l+1)
+	for m := 0; m <= l; m++ {
+		geM := tail(m) + tail(m+1)
+		geM1 := tail(m+1) + tail(m+2)
+		probs[m] = geM - geM1
+	}
+	return probs
+}
+
+// randomWalkM chi-squares the one-sided maximum of n walks of length
+// l against the exact reflection law (swalk_RandomWalk1's M
+// statistic).
+func randomWalkM(src rng.Source, l, n int) ([]float64, error) {
+	if l < 4 || l > 512 {
+		return nil, fmt.Errorf("testu01: walk-max length %d outside [4, 512]", l)
+	}
+	probs := walkMaxProbs(l)
+	br := rng.NewBitReader(src)
+	counts := make([]float64, l+1)
+	for i := 0; i < n; i++ {
+		pos, max := 0, 0
+		for s := 0; s < l; s++ {
+			if br.Bit() == 1 {
+				pos++
+				if pos > max {
+					max = pos
+				}
+			} else {
+				pos--
+			}
+		}
+		counts[max]++
+	}
+	expected := make([]float64, l+1)
+	for m := range expected {
+		expected[m] = probs[m] * float64(n)
+	}
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// permutation4 tests the orderings of disjoint 4-tuples of 32-bit
+// lanes: 24 equiprobable patterns (sknuth_Permutation with t = 4).
+func permutation4(src rng.Source, tuples int) ([]float64, error) {
+	if tuples < 1000 {
+		return nil, fmt.Errorf("testu01: permutation needs ≥ 1000 tuples, got %d", tuples)
+	}
+	lane := rng.Lanes32(src)
+	counts := make([]float64, 24)
+	for t := 0; t < tuples; t++ {
+		var v [4]uint32
+		for i := range v {
+			v[i] = lane()
+		}
+		// Lehmer index.
+		idx := 0
+		fact := [4]int{6, 2, 1, 1}
+		for i := 0; i < 3; i++ {
+			rank := 0
+			for j := i + 1; j < 4; j++ {
+				if v[j] < v[i] {
+					rank++
+				}
+			}
+			idx += rank * fact[i]
+		}
+		counts[idx]++
+	}
+	expected := make([]float64, 24)
+	e := float64(tuples) / 24
+	for i := range expected {
+		expected[i] = e
+	}
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// serialCorrelation z-tests Knuth's lag-1 serial correlation of n
+// uniforms: under H0 the coefficient is approximately
+// N(−1/(n−1), 1/n).
+func serialCorrelation(src rng.Source, n int) ([]float64, error) {
+	if n < 1000 {
+		return nil, fmt.Errorf("testu01: serial correlation needs ≥ 1000 values, got %d", n)
+	}
+	vals := make([]float64, n)
+	var mean float64
+	for i := range vals {
+		vals[i] = rng.Float64(src)
+		mean += vals[i]
+	}
+	mean /= float64(n)
+	var num, den float64
+	for i := 0; i < n; i++ {
+		d := vals[i] - mean
+		den += d * d
+		j := (i + 1) % n // circular, the classical definition
+		num += d * (vals[j] - mean)
+	}
+	if den == 0 {
+		return nil, fmt.Errorf("testu01: degenerate sample")
+	}
+	rho := num / den
+	z := (rho + 1/float64(n-1)) * math.Sqrt(float64(n))
+	return []float64{stats.NormalCDF(z)}, nil
+}

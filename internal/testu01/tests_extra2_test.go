@@ -1,0 +1,146 @@
+package testu01
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/rng"
+)
+
+func TestBitRunLengthsGoodGenerator(t *testing.T) {
+	ps, err := bitRunLengths(baselines.NewMT19937_64(11), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 2 {
+		t.Fatalf("got %d p-values, want one per bit value", len(ps))
+	}
+	for _, p := range ps {
+		if p < 0.001 || p > 0.999 {
+			t.Errorf("bit-run p = %g on a good generator", p)
+		}
+	}
+}
+
+func TestBitRunLengthsCatchesAlternation(t *testing.T) {
+	alt := rng.Func(func() uint64 { return 0xAAAAAAAAAAAAAAAA })
+	ps, err := bitRunLengths(alt, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every run has length 1: the chi-square must explode.
+	for _, p := range ps {
+		if p < 1-1e-10 {
+			t.Errorf("alternating stream p = %g, want ≈ 1", p)
+		}
+	}
+}
+
+func TestWalkMaxProbsSumToOne(t *testing.T) {
+	for _, l := range []int{4, 16, 64} {
+		probs := walkMaxProbs(l)
+		sum := 0.0
+		for m, p := range probs {
+			if p < -1e-12 {
+				t.Fatalf("l=%d: P(M=%d) = %g negative", l, m, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("l=%d: walk-max law sums to %g", l, sum)
+		}
+	}
+	// Hand check l=2: paths ++, +-, -+, --; maxima 2, 1, 0, 0.
+	p := walkMaxProbs(2)
+	if math.Abs(p[0]-0.5) > 1e-12 || math.Abs(p[1]-0.25) > 1e-12 || math.Abs(p[2]-0.25) > 1e-12 {
+		t.Errorf("l=2 law = %v, want [0.5 0.25 0.25]", p[:3])
+	}
+}
+
+func TestRandomWalkMGoodGenerator(t *testing.T) {
+	ps, err := randomWalkM(baselines.NewSplitMix64(12), 64, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] < 0.001 || ps[0] > 0.999 {
+		t.Errorf("walk-max p = %g on a good generator", ps[0])
+	}
+}
+
+func TestRandomWalkMCatchesBiasedBits(t *testing.T) {
+	// 75% ones: maxima skew enormous.
+	biased := rng.Func(func() uint64 { return 0xEEEEEEEEEEEEEEEE }) // 0b1110 pattern
+	ps, err := randomWalkM(biased, 64, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] > 1e-10 && ps[0] < 1-1e-10 {
+		t.Errorf("biased walk p = %g, want extreme", ps[0])
+	}
+}
+
+func TestPermutation4GoodGenerator(t *testing.T) {
+	ps, err := permutation4(baselines.NewMT19937_64(13), 24000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] < 0.001 || ps[0] > 0.999 {
+		t.Errorf("permutation-4 p = %g on a good generator", ps[0])
+	}
+}
+
+func TestPermutation4CatchesMonotone(t *testing.T) {
+	// A counter in the high lane bits: every tuple is increasing.
+	c := uint64(0)
+	mono := rng.Func(func() uint64 { c += 1 << 33; return c })
+	ps, err := permutation4(mono, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] > 1e-10 && ps[0] < 1-1e-10 {
+		t.Errorf("monotone stream p = %g, want extreme", ps[0])
+	}
+}
+
+func TestSerialCorrelationGoodGenerator(t *testing.T) {
+	ps, err := serialCorrelation(baselines.NewSplitMix64(14), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] < 0.001 || ps[0] > 0.999 {
+		t.Errorf("serial correlation p = %g on a good generator", ps[0])
+	}
+}
+
+func TestSerialCorrelationCatchesTrend(t *testing.T) {
+	// A slow sawtooth: adjacent values nearly equal → correlation ≈ 1.
+	i := uint64(0)
+	saw := rng.Func(func() uint64 { i += 1 << 44; return i })
+	ps, err := serialCorrelation(saw, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] < 1-1e-10 {
+		t.Errorf("sawtooth p = %g, want ≈ 1", ps[0])
+	}
+}
+
+func TestExtra2Validation(t *testing.T) {
+	src := baselines.NewSplitMix64(1)
+	if _, err := bitRunLengths(src, 10); err == nil {
+		t.Error("tiny runs should fail")
+	}
+	if _, err := randomWalkM(src, 2, 100); err == nil {
+		t.Error("tiny walk should fail")
+	}
+	if _, err := randomWalkM(src, 1024, 100); err == nil {
+		t.Error("huge walk should fail")
+	}
+	if _, err := permutation4(src, 10); err == nil {
+		t.Error("tiny tuples should fail")
+	}
+	if _, err := serialCorrelation(src, 10); err == nil {
+		t.Error("tiny sample should fail")
+	}
+}

@@ -1,0 +1,154 @@
+package testu01
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/rng"
+)
+
+func TestAutocorrelationPassesGoodGenerator(t *testing.T) {
+	ps, err := autocorrelation(baselines.NewMT19937_64(3), 1, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] < 0.001 || ps[0] > 0.999 {
+		t.Errorf("autocorrelation p = %g on a good generator", ps[0])
+	}
+}
+
+func TestAutocorrelationCatchesPeriodicStream(t *testing.T) {
+	// A stream with period 2 in its bits: x ⊕ x_{lag=2} is all
+	// zeros → z hugely negative → p ≈ 0.
+	period2 := rng.Func(func() uint64 { return 0xAAAAAAAAAAAAAAAA })
+	ps, err := autocorrelation(period2, 2, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] > 1e-10 {
+		t.Errorf("lag-2 autocorrelation missed a period-2 stream: p = %g", ps[0])
+	}
+	// And at lag 1 the XOR is all ones → p ≈ 1.
+	ps, err = autocorrelation(period2, 1, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] < 1-1e-10 {
+		t.Errorf("lag-1 autocorrelation missed alternation: p = %g", ps[0])
+	}
+}
+
+func TestSumCollectorLawIsExact(t *testing.T) {
+	// The expected-counts law must be a probability distribution and
+	// must give E[N] = e.
+	const maxN = 12
+	f := 1.0
+	var total, mean float64
+	for n := 2; n <= maxN; n++ {
+		// recompute (n−1)/n!
+		f = 1
+		for i := 2; i <= n; i++ {
+			f *= float64(i)
+		}
+		p := float64(n-1) / f
+		total += p
+		mean += float64(n) * p
+	}
+	if math.Abs(total-1) > 1e-7 {
+		t.Errorf("sum-collector law sums to %g", total)
+	}
+	if math.Abs(mean-math.E) > 1e-5 {
+		t.Errorf("E[N] = %g, want e", mean)
+	}
+}
+
+func TestSumCollectorPassesGoodGenerator(t *testing.T) {
+	ps, err := sumCollector(baselines.NewSplitMix64(8), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] < 0.001 || ps[0] > 0.999 {
+		t.Errorf("sum-collector p = %g on a good generator", ps[0])
+	}
+}
+
+func TestSumCollectorCatchesBiasedUniforms(t *testing.T) {
+	// A generator whose floats concentrate near 1 finishes in ~2
+	// draws almost always.
+	biased := rng.Func(func() uint64 { return ^uint64(0) - 12345 })
+	ps, err := sumCollector(biased, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] > 1e-10 && ps[0] < 1-1e-10 {
+		t.Errorf("sum-collector missed a biased stream: p = %g", ps[0])
+	}
+}
+
+func TestHammingCorrelationPassesGoodGenerator(t *testing.T) {
+	ps, err := hammingCorrelation(baselines.NewMT19937_64(5), 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] < 0.001 || ps[0] > 0.999 {
+		t.Errorf("hamming correlation p = %g on a good generator", ps[0])
+	}
+}
+
+func TestHammingCorrelationCatchesStickyWeights(t *testing.T) {
+	// Emit every random word twice: half of all adjacent pairs have
+	// identical weights — strong positive correlation.
+	inner := baselines.NewSplitMix64(1)
+	var last uint64
+	var have bool
+	sticky := rng.Func(func() uint64 {
+		if have {
+			have = false
+			return last
+		}
+		last = inner.Uint64()
+		have = true
+		return last
+	})
+	ps, err := hammingCorrelation(sticky, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps[0] > 1e-10 && ps[0] < 1-1e-10 {
+		t.Errorf("hamming correlation missed sticky weights: p = %g", ps[0])
+	}
+}
+
+func TestExtraValidation(t *testing.T) {
+	src := baselines.NewSplitMix64(1)
+	if _, err := autocorrelation(src, 0, 1024); err == nil {
+		t.Error("lag 0 should fail")
+	}
+	if _, err := autocorrelation(src, 1, 10); err == nil {
+		t.Error("tiny nbits should fail")
+	}
+	if _, err := sumCollector(src, 10); err == nil {
+		t.Error("tiny segments should fail")
+	}
+	if _, err := hammingCorrelation(src, 10); err == nil {
+		t.Error("tiny words should fail")
+	}
+}
+
+func TestExtendedBatteryOnHybridQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("battery run")
+	}
+	b := Extended()
+	if len(b.Tests) != 9 {
+		t.Fatalf("extended battery has %d tests, want 9", len(b.Tests))
+	}
+	out := b.Run("mt19937-64", baselines.NewMT19937_64(99))
+	if out.Passed < 8 {
+		for _, r := range out.Results {
+			t.Logf("%s p=%.6f", r.Name, r.P())
+		}
+		t.Errorf("good generator passed only %d/%d extended tests", out.Passed, out.Total)
+	}
+}

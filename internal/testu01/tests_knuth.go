@@ -1,0 +1,226 @@
+package testu01
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// collision throws `balls` balls into `urns` urns and counts
+// collisions (balls − distinct urns hit); the count is compared to
+// its exact mean with a Poisson-width z-score, repeated `reps`
+// times (sknuth_Collision).
+func collision(src rng.Source, balls, urns, reps int) ([]float64, error) {
+	if balls < 2 || urns < 2 || balls > urns {
+		return nil, fmt.Errorf("testu01: collision wants 2 ≤ balls ≤ urns, got %d/%d", balls, urns)
+	}
+	// Exact mean: balls − urns·(1 − (1−1/urns)^balls).
+	mean := float64(balls) - float64(urns)*(1-math.Pow(1-1/float64(urns), float64(balls)))
+	sd := math.Sqrt(mean)
+	seen := make([]uint64, (urns+63)/64)
+	var ps []float64
+	for r := 0; r < reps; r++ {
+		for i := range seen {
+			seen[i] = 0
+		}
+		distinct := 0
+		for b := 0; b < balls; b++ {
+			u := rng.Uint64n(src, uint64(urns))
+			if seen[u>>6]>>(u&63)&1 == 0 {
+				seen[u>>6] |= 1 << (u & 63)
+				distinct++
+			}
+		}
+		c := float64(balls - distinct)
+		ps = append(ps, stats.NormalCDF((c-mean)/sd))
+	}
+	return ps, nil
+}
+
+// gap measures the gaps between successive visits of U to [α, β):
+// gap lengths are geometric with p = β − α (sknuth_Gap).
+func gap(src rng.Source, alpha, beta float64, gaps int) ([]float64, error) {
+	p := beta - alpha
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("testu01: gap window [%g, %g) invalid", alpha, beta)
+	}
+	const maxGap = 32 // cells 0..31, tail pooled
+	counts := make([]float64, maxGap+1)
+	run := 0
+	collected := 0
+	for collected < gaps {
+		u := rng.Float64(src)
+		if u >= alpha && u < beta {
+			g := run
+			if g > maxGap {
+				g = maxGap
+			}
+			counts[g]++
+			run = 0
+			collected++
+		} else {
+			run++
+		}
+	}
+	expected := make([]float64, maxGap+1)
+	cum := 0.0
+	for g := 0; g < maxGap; g++ {
+		pg := p * math.Pow(1-p, float64(g))
+		expected[g] = pg * float64(gaps)
+		cum += pg
+	}
+	expected[maxGap] = (1 - cum) * float64(gaps)
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// stirling2 returns a table of Stirling numbers of the second kind
+// S(n, k) for n ≤ maxN, as float64 (exact for the sizes used here).
+func stirling2(maxN int) [][]float64 {
+	s := make([][]float64, maxN+1)
+	for n := range s {
+		s[n] = make([]float64, maxN+1)
+	}
+	s[0][0] = 1
+	for n := 1; n <= maxN; n++ {
+		for k := 1; k <= n; k++ {
+			s[n][k] = float64(k)*s[n-1][k] + s[n-1][k-1]
+		}
+	}
+	return s
+}
+
+// simplePoker deals `hands` hands of 5 values in [0, d) and counts
+// the number of distinct values per hand; the law is
+// P(r) = S(5, r) · d!/(d−r)! / d^5 (sknuth_SimpPoker).
+func simplePoker(src rng.Source, d int, hands int) ([]float64, error) {
+	if d < 2 {
+		return nil, fmt.Errorf("testu01: poker needs d ≥ 2, got %d", d)
+	}
+	s2 := stirling2(5)
+	counts := make([]float64, 6) // distinct = 1..5 at indices 1..5
+	seen := make(map[uint64]bool, 5)
+	for h := 0; h < hands; h++ {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for c := 0; c < 5; c++ {
+			seen[rng.Uint64n(src, uint64(d))] = true
+		}
+		counts[len(seen)]++
+	}
+	expected := make([]float64, 6)
+	df := float64(d)
+	for r := 1; r <= 5; r++ {
+		// d·(d−1)···(d−r+1)
+		fall := 1.0
+		for i := 0; i < r; i++ {
+			fall *= df - float64(i)
+		}
+		expected[r] = s2[5][r] * fall / math.Pow(df, 5) * float64(hands)
+	}
+	res, err := stats.ChiSquare(counts[1:], expected[1:], 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// couponCollector draws values in [0, d) until all d have appeared
+// and records the segment length; the law is
+// P(L = l) = d!/d^l · S(l−1, d−1) (sknuth_CouponCollector).
+func couponCollector(src rng.Source, d int, segments int) ([]float64, error) {
+	if d < 2 || d > 16 {
+		return nil, fmt.Errorf("testu01: coupon collector wants 2 ≤ d ≤ 16, got %d", d)
+	}
+	maxL := 8 * d // tail pooled
+	s2 := stirling2(maxL)
+	counts := make([]float64, maxL+1)
+	for s := 0; s < segments; s++ {
+		var mask uint64
+		full := uint64(1)<<d - 1
+		l := 0
+		for mask != full {
+			mask |= 1 << rng.Uint64n(src, uint64(d))
+			l++
+			if l >= maxL {
+				break
+			}
+		}
+		counts[l]++
+	}
+	expected := make([]float64, maxL+1)
+	dFact := 1.0
+	for i := 2; i <= d; i++ {
+		dFact *= float64(i)
+	}
+	cum := 0.0
+	for l := d; l < maxL; l++ {
+		pl := dFact / math.Pow(float64(d), float64(l)) * s2[l-1][d-1]
+		expected[l] = pl * float64(segments)
+		cum += pl
+	}
+	expected[maxL] = (1 - cum) * float64(segments)
+	res, err := stats.ChiSquare(counts[d:], expected[d:], 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// maxOfT takes the maximum of t uniforms; x^t is then uniform. A
+// chi-square over equiprobable bins and a KS test are both applied
+// (sknuth_MaxOft).
+func maxOfT(src rng.Source, t int, n int) ([]float64, error) {
+	if t < 2 {
+		return nil, fmt.Errorf("testu01: max-of-t needs t ≥ 2, got %d", t)
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		m := 0.0
+		for j := 0; j < t; j++ {
+			if u := rng.Float64(src); u > m {
+				m = u
+			}
+		}
+		vals[i] = math.Pow(m, float64(t))
+	}
+	chi, err := stats.ChiSquareUniformBins(vals, 32)
+	if err != nil {
+		return nil, err
+	}
+	ks, err := stats.KSUniform(vals)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{chi.P, ks.P}, nil
+}
+
+// serialPairs tests non-overlapping pairs of digits in [0, d) for
+// uniformity over the d² cells (sknuth_Serial flavour).
+func serialPairs(src rng.Source, d int, pairs int) ([]float64, error) {
+	if d < 2 || d > 256 {
+		return nil, fmt.Errorf("testu01: serial wants 2 ≤ d ≤ 256, got %d", d)
+	}
+	counts := make([]float64, d*d)
+	for i := 0; i < pairs; i++ {
+		a := int(rng.Uint64n(src, uint64(d)))
+		b := int(rng.Uint64n(src, uint64(d)))
+		counts[a*d+b]++
+	}
+	expected := make([]float64, d*d)
+	e := float64(pairs) / float64(d*d)
+	for i := range expected {
+		expected[i] = e
+	}
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}

@@ -1,0 +1,135 @@
+package testu01
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// birthdaySpacings is smarsa_BirthdaySpacings: m birthdays in 2^24
+// days, duplicate spacings ~ Poisson(2); the count distribution over
+// `samples` repetitions is chi-squared against the Poisson law.
+func birthdaySpacings(src rng.Source, samples int) ([]float64, error) {
+	const (
+		m    = 512
+		days = 1 << 24
+	)
+	lambda := float64(m) * float64(m) * float64(m) / (4 * float64(days))
+	counts := make([]float64, 12)
+	bdays := make([]uint32, m)
+	spac := make([]uint32, m)
+	for s := 0; s < samples; s++ {
+		for i := range bdays {
+			bdays[i] = uint32(src.Uint64() >> 40)
+		}
+		sort.Slice(bdays, func(a, b int) bool { return bdays[a] < bdays[b] })
+		spac[0] = bdays[0]
+		for i := 1; i < m; i++ {
+			spac[i] = bdays[i] - bdays[i-1]
+		}
+		sort.Slice(spac, func(a, b int) bool { return spac[a] < spac[b] })
+		j := 0
+		for i := 1; i < m; i++ {
+			if spac[i] == spac[i-1] {
+				j++
+			}
+		}
+		if j >= len(counts) {
+			j = len(counts) - 1
+		}
+		counts[j]++
+	}
+	expected := make([]float64, len(counts))
+	cum := 0.0
+	for k := 0; k < len(expected)-1; k++ {
+		pk := stats.PoissonPMF(lambda, k)
+		expected[k] = pk * float64(samples)
+		cum += pk
+	}
+	expected[len(expected)-1] = (1 - cum) * float64(samples)
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// matrixRank is smarsa_MatrixRank: dim×dim binary matrices filled
+// from the bit stream, ranks compared to the exact GF(2) law. For
+// GF(2)-linear generators whose state is smaller than dim² bits the
+// rows become linearly dependent and the test fails — the classic
+// killer of LFSR-family generators at Crush sizes.
+func matrixRank(src rng.Source, dim, n int) ([]float64, error) {
+	if dim < 2 {
+		return nil, fmt.Errorf("testu01: matrix rank dim %d < 2", dim)
+	}
+	words := (dim + 63) / 64
+	floor := dim - 3
+	ncells := dim - floor + 2
+	counts := make([]float64, ncells)
+	rows := make([][]uint64, dim)
+	for i := range rows {
+		rows[i] = make([]uint64, words)
+	}
+	for t := 0; t < n; t++ {
+		for i := range rows {
+			for w := 0; w < words; w++ {
+				rows[i][w] = src.Uint64()
+			}
+			// Mask tail bits beyond dim.
+			if dim%64 != 0 {
+				rows[i][words-1] &= uint64(1)<<(dim%64) - 1
+			}
+		}
+		r := stats.GF2Rank(rows, dim)
+		cell := r - floor + 1
+		if cell < 0 {
+			cell = 0
+		}
+		counts[cell]++
+	}
+	expected := make([]float64, ncells)
+	for r := 0; r <= dim; r++ {
+		cell := r - floor + 1
+		if cell < 0 {
+			cell = 0
+		}
+		expected[cell] += stats.GF2RankProb(dim, dim, r) * float64(n)
+	}
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// weightDistrib is svaria_WeightDistrib: among k uniforms, the
+// number below p is Binomial(k, p); counts over n repetitions are
+// chi-squared against the binomial law.
+func weightDistrib(src rng.Source, k int, p float64, n int) ([]float64, error) {
+	if k < 2 || p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("testu01: weight distrib bad params k=%d p=%g", k, p)
+	}
+	counts := make([]float64, k+1)
+	for i := 0; i < n; i++ {
+		w := 0
+		for j := 0; j < k; j++ {
+			if rng.Float64(src) < p {
+				w++
+			}
+		}
+		counts[w]++
+	}
+	expected := make([]float64, k+1)
+	for w := 0; w <= k; w++ {
+		expected[w] = math.Exp(stats.BinomialLogPMF(k, w, p)) * float64(n)
+	}
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}

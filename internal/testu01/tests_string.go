@@ -1,0 +1,176 @@
+package testu01
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// hammingWeight chi-squares the population counts of n 64-bit words
+// against Binomial(64, ½) (sstring_HammingWeight flavour).
+func hammingWeight(src rng.Source, n int) ([]float64, error) {
+	counts := make([]float64, 65)
+	for i := 0; i < n; i++ {
+		counts[bits.OnesCount64(src.Uint64())]++
+	}
+	expected := make([]float64, 65)
+	for w := 0; w <= 64; w++ {
+		expected[w] = math.Exp(stats.BinomialLogPMF(64, w, 0.5)) * float64(n)
+	}
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// hammingIndep tests independence of the weight categories of
+// successive non-overlapping words: a 3×3 contingency table (weight
+// < 32, = 32, > 32) with theoretical marginals
+// (sstring_HammingIndep flavour).
+func hammingIndep(src rng.Source, pairs int) ([]float64, error) {
+	cat := func(w int) int {
+		switch {
+		case w < 32:
+			return 0
+		case w == 32:
+			return 1
+		default:
+			return 2
+		}
+	}
+	var table [9]float64
+	for i := 0; i < pairs; i++ {
+		a := cat(bits.OnesCount64(src.Uint64()))
+		b := cat(bits.OnesCount64(src.Uint64()))
+		table[a*3+b]++
+	}
+	// Theoretical marginals from Binomial(64, ½).
+	pEq := math.Exp(stats.BinomialLogPMF(64, 32, 0.5))
+	pLo := (1 - pEq) / 2
+	marg := [3]float64{pLo, pEq, pLo}
+	obs := table[:]
+	expected := make([]float64, 9)
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			expected[a*3+b] = marg[a] * marg[b] * float64(pairs)
+		}
+	}
+	res, err := stats.ChiSquare(obs, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// randomWalkH runs n ±1 walks of length l and chi-squares the final
+// position against the binomial law (swalk_RandomWalk1's H
+// statistic).
+func randomWalkH(src rng.Source, l, n int) ([]float64, error) {
+	if l < 2 || l%2 != 0 {
+		return nil, fmt.Errorf("testu01: walk length %d must be even and ≥ 2", l)
+	}
+	br := rng.NewBitReader(src)
+	// Final position = 2·(#ones) − l; track #ones.
+	counts := make([]float64, l+1)
+	for i := 0; i < n; i++ {
+		ones := 0
+		for s := 0; s < l; s += 64 {
+			w := br.Bits(64)
+			ones += bits.OnesCount64(w)
+		}
+		counts[ones]++
+	}
+	expected := make([]float64, l+1)
+	for k := 0; k <= l; k++ {
+		expected[k] = math.Exp(stats.BinomialLogPMF(l, k, 0.5)) * float64(n)
+	}
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}
+
+// longestRunProbs returns P(longest run of ones ≤ r) for a block of
+// m fair bits, for r = 0..m, via the run-length DP.
+func longestRunProbs(m int) []float64 {
+	probs := make([]float64, m+1)
+	for r := 0; r <= m; r++ {
+		// DP over (position, current run), capped at r.
+		cur := make([]float64, r+2)
+		cur[0] = 1
+		for pos := 0; pos < m; pos++ {
+			next := make([]float64, r+2)
+			for run := 0; run <= r; run++ {
+				p := cur[run]
+				if p == 0 {
+					continue
+				}
+				next[0] += p / 2 // a zero resets the run
+				if run+1 <= r {
+					next[run+1] += p / 2
+				}
+				// a one extending past r kills the path
+			}
+			cur = next
+		}
+		total := 0.0
+		for _, p := range cur {
+			total += p
+		}
+		probs[r] = total
+		if r > 0 && probs[r] > 1-1e-15 {
+			for rr := r + 1; rr <= m; rr++ {
+				probs[rr] = 1
+			}
+			break
+		}
+	}
+	return probs
+}
+
+// longestHeadRun chi-squares the longest run of ones in blocks of m
+// bits against the exact DP law (sstring_LongestHeadRun flavour).
+func longestHeadRun(src rng.Source, m, blocks int) ([]float64, error) {
+	if m < 8 || m%64 != 0 {
+		return nil, fmt.Errorf("testu01: block size %d must be a positive multiple of 64", m)
+	}
+	cdf := longestRunProbs(m)
+	pmf := make([]float64, len(cdf))
+	pmf[0] = cdf[0]
+	for r := 1; r < len(cdf); r++ {
+		pmf[r] = cdf[r] - cdf[r-1]
+	}
+	counts := make([]float64, m+1)
+	words := m / 64
+	for b := 0; b < blocks; b++ {
+		longest, run := 0, 0
+		for w := 0; w < words; w++ {
+			v := src.Uint64()
+			for bit := 63; bit >= 0; bit-- {
+				if v>>uint(bit)&1 == 1 {
+					run++
+					if run > longest {
+						longest = run
+					}
+				} else {
+					run = 0
+				}
+			}
+		}
+		counts[longest]++
+	}
+	expected := make([]float64, m+1)
+	for r := 0; r <= m; r++ {
+		expected[r] = pmf[r] * float64(blocks)
+	}
+	res, err := stats.ChiSquare(counts, expected, 5, 0)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{res.P}, nil
+}

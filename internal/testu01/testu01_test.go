@@ -1,0 +1,336 @@
+package testu01
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/baselines"
+)
+
+func TestBitSeqFetch(t *testing.T) {
+	s := newBitSeq(200)
+	// Set bits 0, 5, 64, 130.
+	for _, j := range []int{0, 5, 64, 130} {
+		s.set(j, 1)
+	}
+	if got := s.fetch64(0); got != 1|1<<5 {
+		t.Errorf("fetch64(0) = %#x", got)
+	}
+	if got := s.fetch64(64); got != 1 {
+		t.Errorf("fetch64(64) = %#x", got)
+	}
+	if got := s.fetch64(-64); got != 0 {
+		t.Errorf("fetch64(-64) = %#x, guard must be zero", got)
+	}
+	// Unaligned: bit 5 appears at position 5-3 = 2 when starting at 3.
+	if got := s.fetch64(3); got&0b100 == 0 {
+		t.Errorf("fetch64(3) = %#x missing bit", got)
+	}
+	// Bit 130 at start 67 → position 63.
+	if got := s.fetch64(67); got>>63 != 1 {
+		t.Errorf("fetch64(67) = %#x", got)
+	}
+}
+
+func mkSeq(bits []uint64) *bitSeq {
+	s := newBitSeq(len(bits))
+	for i, b := range bits {
+		s.set(i, b)
+	}
+	return s
+}
+
+func TestBerlekampMasseyKnownSequences(t *testing.T) {
+	// All zeros: complexity 0.
+	if L, _ := berlekampMassey(mkSeq(make([]uint64, 64)), 64); L != 0 {
+		t.Errorf("zeros L = %d, want 0", L)
+	}
+	// All ones: s_n = s_{n-1}, complexity 1.
+	ones := make([]uint64, 64)
+	for i := range ones {
+		ones[i] = 1
+	}
+	if L, _ := berlekampMassey(mkSeq(ones), 64); L != 1 {
+		t.Errorf("ones L = %d, want 1", L)
+	}
+	// Impulse: 1 followed by zeros, complexity 1.
+	imp := make([]uint64, 64)
+	imp[0] = 1
+	if L, _ := berlekampMassey(mkSeq(imp), 64); L != 1 {
+		t.Errorf("impulse L = %d, want 1", L)
+	}
+	// Alternating 1,0,1,0…: s_n = s_{n-2}, complexity 2.
+	alt := make([]uint64, 64)
+	for i := range alt {
+		alt[i] = uint64(1 - i%2)
+	}
+	if L, _ := berlekampMassey(mkSeq(alt), 64); L != 2 {
+		t.Errorf("alternating L = %d, want 2", L)
+	}
+	// x³ + x + 1 LFSR (maximal, period 7): complexity 3.
+	reg := []uint64{1, 0, 0}
+	var lfsr []uint64
+	for i := 0; i < 70; i++ {
+		out := reg[2]
+		lfsr = append(lfsr, out)
+		fb := reg[2] ^ reg[1] // taps for x^3 + x + 1
+		reg[2], reg[1], reg[0] = reg[1], reg[0], fb
+	}
+	if L, jumps := berlekampMassey(mkSeq(lfsr), len(lfsr)); L != 3 || jumps == 0 {
+		t.Errorf("LFSR-3 L = %d (jumps %d), want 3", L, jumps)
+	}
+}
+
+func TestBerlekampMasseyRandomNearHalf(t *testing.T) {
+	src := baselines.NewSplitMix64(42)
+	n := 2048
+	s := newBitSeq(n)
+	for j := 0; j < n; j += 64 {
+		w := src.Uint64()
+		for k := 0; k < 64; k++ {
+			s.set(j+k, w>>uint(k))
+		}
+	}
+	L, jumps := berlekampMassey(s, n)
+	if L < n/2-8 || L > n/2+8 {
+		t.Errorf("random-sequence L = %d, want ≈ %d", L, n/2)
+	}
+	// Jump count ≈ n/4 with σ = √(n/8) ≈ 16.
+	if jumps < n/4-80 || jumps > n/4+80 {
+		t.Errorf("random-sequence jumps = %d, want ≈ %d", jumps, n/4)
+	}
+}
+
+func TestBerlekampMasseyLocksOnMT19937(t *testing.T) {
+	// The repo's marquee linearity result: over > 2·19937 bits,
+	// Berlekamp–Massey pins MT19937's linear complexity at exactly
+	// its state degree. This is precisely why MT fails Crush.
+	if testing.Short() {
+		t.Skip("44k-bit BM run")
+	}
+	// One designated bit per output: interleaving all 32 bits would
+	// multiply the recurrence degree by the lane count (the
+	// interleaved stream has complexity 32·19937) and hide the lock.
+	g := baselines.NewMT19937(5489)
+	n := 44032
+	s := newBitSeq(n)
+	for j := 0; j < n; j++ {
+		s.set(j, uint64(g.Uint32()>>31))
+	}
+	L, _ := berlekampMassey(s, n)
+	if L != 19937 {
+		t.Errorf("MT19937 complexity = %d, want exactly 19937", L)
+	}
+}
+
+func TestFFTMatchesDirectDFT(t *testing.T) {
+	src := baselines.NewSplitMix64(7)
+	n := 64
+	a := make([]complex128, n)
+	orig := make([]complex128, n)
+	for i := range a {
+		v := complex(float64(src.Uint64()%100)/50-1, 0)
+		a[i], orig[i] = v, v
+	}
+	fft(a)
+	for k := 0; k < n; k++ {
+		var want complex128
+		for j := 0; j < n; j++ {
+			ang := -2 * math.Pi * float64(k*j) / float64(n)
+			want += orig[j] * cmplx.Exp(complex(0, ang))
+		}
+		if cmplx.Abs(a[k]-want) > 1e-9 {
+			t.Fatalf("FFT[%d] = %v, want %v", k, a[k], want)
+		}
+	}
+}
+
+func TestFFTPanicsOnNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("fft should panic on non-power-of-two input")
+		}
+	}()
+	fft(make([]complex128, 48))
+}
+
+func TestLongestRunProbs(t *testing.T) {
+	// m=2: P(max run ≤ 0) = 1/4 (only 00), ≤ 1 = 3/4, ≤ 2 = 1.
+	p := longestRunProbs(2)
+	if math.Abs(p[0]-0.25) > 1e-12 || math.Abs(p[1]-0.75) > 1e-12 || math.Abs(p[2]-1) > 1e-12 {
+		t.Errorf("m=2 probs = %v", p[:3])
+	}
+	// Monotone CDF for larger m.
+	p = longestRunProbs(128)
+	for r := 1; r < len(p); r++ {
+		if p[r] < p[r-1]-1e-12 {
+			t.Fatalf("CDF not monotone at %d", r)
+		}
+	}
+	if math.Abs(p[128]-1) > 1e-9 {
+		t.Errorf("CDF(128) = %g", p[128])
+	}
+}
+
+func TestStirlingNumbers(t *testing.T) {
+	s := stirling2(6)
+	// Known values: S(5,2)=15, S(5,3)=25, S(6,3)=90.
+	if s[5][2] != 15 || s[5][3] != 25 || s[6][3] != 90 {
+		t.Errorf("Stirling numbers wrong: %v %v %v", s[5][2], s[5][3], s[6][3])
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	src := baselines.NewSplitMix64(1)
+	if _, err := collision(src, 1, 10, 1); err == nil {
+		t.Error("collision with 1 ball should fail")
+	}
+	if _, err := gap(src, 0.5, 0.5, 10); err == nil {
+		t.Error("empty gap window should fail")
+	}
+	if _, err := simplePoker(src, 1, 10); err == nil {
+		t.Error("poker d=1 should fail")
+	}
+	if _, err := couponCollector(src, 1, 10); err == nil {
+		t.Error("coupon d=1 should fail")
+	}
+	if _, err := maxOfT(src, 1, 10); err == nil {
+		t.Error("max-of-t t=1 should fail")
+	}
+	if _, err := serialPairs(src, 1, 10); err == nil {
+		t.Error("serial d=1 should fail")
+	}
+	if _, err := weightDistrib(src, 1, 0.5, 10); err == nil {
+		t.Error("weight k=1 should fail")
+	}
+	if _, err := matrixRank(src, 1, 10); err == nil {
+		t.Error("rank dim=1 should fail")
+	}
+	if _, err := randomWalkH(src, 3, 10); err == nil {
+		t.Error("odd walk length should fail")
+	}
+	if _, err := longestHeadRun(src, 100, 10); err == nil {
+		t.Error("non-multiple-of-64 block should fail")
+	}
+	if _, err := linearComplexity(src, 64, 4); err == nil {
+		t.Error("tiny linear complexity should fail")
+	}
+	if _, err := spectralDFT(src, 100, 2); err == nil {
+		t.Error("non-power-of-two dft should fail")
+	}
+}
+
+func TestIndividualTestsOnGoodGenerator(t *testing.T) {
+	z := smallSizes()
+	b := batteryFrom("unit", z)
+	src := baselines.NewMT19937_64(987654321)
+	for _, test := range b.Tests {
+		ps, err := test.Run(src)
+		if err != nil {
+			t.Fatalf("%s: %v", test.Name, err)
+		}
+		if len(ps) == 0 {
+			t.Fatalf("%s produced no p-values", test.Name)
+		}
+		for _, p := range ps {
+			if p < 0 || p > 1 || math.IsNaN(p) {
+				t.Errorf("%s produced p = %g", test.Name, p)
+			}
+		}
+	}
+}
+
+func TestSmallCrushPassesGoodGenerators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("battery run")
+	}
+	for _, name := range []string{"mt19937-64", "splitmix64", "xorwow"} {
+		src, err := baselines.New(name, 777)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := SmallCrush().Run(name, src)
+		if out.Passed < 14 {
+			for _, r := range out.Results {
+				t.Logf("%s %-20s p=%.6f", name, r.Name, r.P())
+			}
+			t.Errorf("%s passed %d/15 SmallCrush", name, out.Passed)
+		}
+	}
+}
+
+func TestSmallCrushFailsStuckBitGenerator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("battery run")
+	}
+	src := baselines.NewGlibcRand32(1)
+	out := SmallCrush().Run("glibc-rand32", src)
+	if out.Passed > 10 {
+		t.Errorf("stuck-top-bit generator passed %d/15 SmallCrush", out.Passed)
+	}
+}
+
+func TestCrushCatchesMersenneTwisterLinearity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Crush-size linear complexity run")
+	}
+	ps, err := linearComplexity(baselines.NewMT19937(5489), crushSizes().lcBits, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Result{Name: "lc", PValues: ps}
+	if res.Passed(0.001, 0.999) {
+		t.Errorf("MT19937 passed linear complexity at Crush size: %v", ps)
+	}
+	// The jump-count p-values (entries 1..) must be catastrophic.
+	worst := 1.0
+	for _, p := range ps[1:] {
+		if p < worst {
+			worst = p
+		}
+	}
+	if worst > 1e-10 {
+		t.Errorf("MT19937 worst jump p = %g, want ≈ 0", worst)
+	}
+	// A nonlinear generator sails through at the same size.
+	ps, err = linearComplexity(baselines.NewSplitMix64(3), crushSizes().lcBits, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = Result{Name: "lc", PValues: ps}
+	if !res.Passed(0.001, 0.999) {
+		t.Errorf("splitmix64 failed linear complexity: %v", ps)
+	}
+}
+
+func TestBatteriesStructure(t *testing.T) {
+	bats := Batteries()
+	if len(bats) != 3 {
+		t.Fatalf("got %d batteries", len(bats))
+	}
+	wantNames := []string{"SmallCrush", "Crush", "BigCrush"}
+	for i, b := range bats {
+		if b.Name != wantNames[i] {
+			t.Errorf("battery %d = %s", i, b.Name)
+		}
+		if len(b.Tests) != 15 {
+			t.Errorf("%s has %d tests, want 15", b.Name, len(b.Tests))
+		}
+	}
+}
+
+func TestResultDecisionRule(t *testing.T) {
+	r := Result{PValues: []float64{0.5}}
+	if !r.Passed(0.001, 0.999) {
+		t.Error("0.5 should pass")
+	}
+	r = Result{PValues: []float64{0.5, 1e-6}}
+	if r.Passed(0.001, 0.999) {
+		t.Error("extreme member should fail the test")
+	}
+	r = Result{}
+	if r.P() != 0 {
+		t.Error("empty result p should be 0")
+	}
+}

@@ -1,0 +1,390 @@
+// Package hybridprng is an on-demand, scalable, thread-safe pseudo
+// random number generator based on random walks on a Gabber–Galil
+// expander graph — a from-scratch Go reproduction of Banerjee, Bahl
+// and Kothapalli, "An On-Demand Fast Parallel Pseudo Random Number
+// Generator with Applications" (IPDPS Workshops 2012).
+//
+// Each Generator owns an independent walk on a 7-regular expander
+// over Z_2³² × Z_2³²; a cheap feed generator (glibc rand() by
+// default) supplies 3 bits per walk step, and every call to Uint64
+// walks 64 steps and returns the 64-bit vertex id it lands on. The
+// expander's rapid mixing amplifies the weak feed bits into output
+// that passes the DIEHARD battery and the TestU01-style batteries in
+// internal/testu01 (see EXPERIMENTS.md).
+//
+// On demand means exactly that: there is no pre-generated buffer and
+// no a-priori quantity to declare — any number of goroutines can
+// each own a Generator (or share a Parallel pool) and draw numbers
+// as the computation unfolds, the property the paper's list-ranking
+// application exercises.
+//
+// # Quick start
+//
+//	g, err := hybridprng.New()
+//	if err != nil { ... }
+//	x := g.Uint64()      // next random 64-bit value
+//	f := g.Float64()     // uniform in [0, 1)
+//
+// A Generator is deliberately not safe for concurrent use — walkers
+// share nothing, so give one to each goroutine (Parallel does this
+// for you) exactly like the paper's per-thread walks.
+package hybridprng
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/baselines"
+	"repro/internal/bitsource"
+	"repro/internal/core"
+	"repro/internal/expander"
+	"repro/internal/rng"
+)
+
+// Feed names accepted by WithFeed.
+const (
+	FeedGlibc    = "glibc"    // the paper's configuration
+	FeedANSIC    = "ansic"    // weaker feed (ablation)
+	FeedSplitMix = "splitmix" // stronger feed (ablation)
+)
+
+type config struct {
+	walkLen     int
+	initWalkLen int
+	feed        string
+	seed        uint64
+	seeded      bool
+	healthHMin  float64 // 0 = no monitoring
+}
+
+// Option configures New and NewParallel.
+type Option func(*config) error
+
+// WithWalkLength sets l, the number of expander steps per generated
+// number (default 64, the paper's choice). Shorter walks are faster
+// and weaker; the ablation benches quantify the trade.
+func WithWalkLength(l int) Option {
+	return func(c *config) error {
+		if l < 1 {
+			return fmt.Errorf("hybridprng: walk length %d < 1", l)
+		}
+		c.walkLen = l
+		return nil
+	}
+}
+
+// WithInitWalkLength sets the length of the Algorithm 1 mixing walk
+// run at construction (default 64).
+func WithInitWalkLength(l int) Option {
+	return func(c *config) error {
+		if l < 0 {
+			return fmt.Errorf("hybridprng: init walk length %d < 0", l)
+		}
+		c.initWalkLen = l
+		return nil
+	}
+}
+
+// WithFeed selects the feed-bit generator: FeedGlibc (default),
+// FeedANSIC or FeedSplitMix.
+func WithFeed(name string) Option {
+	return func(c *config) error {
+		switch name {
+		case FeedGlibc, FeedANSIC, FeedSplitMix:
+			c.feed = name
+			return nil
+		default:
+			return fmt.Errorf("hybridprng: unknown feed %q", name)
+		}
+	}
+}
+
+// WithSeed fixes the feed seed for reproducible streams. Without it
+// the seed comes from the operating system's entropy pool.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		c.seed = seed
+		c.seeded = true
+		return nil
+	}
+}
+
+// WithHealthMonitoring wraps the feed with the SP 800-90B continuous
+// health tests (repetition count + adaptive proportion), calibrated
+// for a feed claiming hMin bits of min-entropy per byte (a pseudo-
+// random feed warrants a conservative claim such as 4). Check
+// Generator.HealthErr at consumption boundaries; a tripped monitor
+// means the feed broke and the output must not be trusted. This is
+// the groundwork for the cryptographic applications the paper's
+// conclusion points at.
+func WithHealthMonitoring(hMin float64) Option {
+	return func(c *config) error {
+		if hMin <= 0 || hMin > 8 {
+			return fmt.Errorf("hybridprng: claimed min-entropy %g outside (0, 8]", hMin)
+		}
+		c.healthHMin = hMin
+		return nil
+	}
+}
+
+func buildConfig(opts []Option) (config, error) {
+	c := config{walkLen: core.DefaultWalkLen, initWalkLen: core.DefaultInitWalkLen, feed: FeedGlibc}
+	for _, o := range opts {
+		if err := o(&c); err != nil {
+			return c, err
+		}
+	}
+	if !c.seeded {
+		c.seed = bitsource.CryptoSeed()
+	}
+	return c, nil
+}
+
+func (c config) feedSource(worker int) rng.Source {
+	seed := baselines.Mix64(c.seed + uint64(worker)*0x9E3779B97F4A7C15)
+	switch c.feed {
+	case FeedANSIC:
+		return baselines.NewANSIC(uint32(seed))
+	case FeedSplitMix:
+		return baselines.NewSplitMix64(seed)
+	default:
+		return baselines.NewGlibcRand(uint32(seed))
+	}
+}
+
+// bits builds the worker's feed-bit reader, optionally behind a
+// health monitor (returned non-nil only when monitoring is on).
+func (c config) bits(worker int) (*rng.BitReader, *bitsource.Monitor, error) {
+	src := c.feedSource(worker)
+	if c.healthHMin > 0 {
+		mon, err := bitsource.NewMonitor(src, c.healthHMin)
+		if err != nil {
+			return nil, nil, err
+		}
+		return rng.NewBitReader(mon), mon, nil
+	}
+	return rng.NewBitReader(src), nil, nil
+}
+
+func (c config) coreConfig() core.Config {
+	return core.Config{WalkLen: c.walkLen, InitWalkLen: c.initWalkLen}
+}
+
+// Generator is one independent expander walk. Not safe for
+// concurrent use; see Parallel or Shared.
+type Generator struct {
+	w      *core.Walker
+	health *bitsource.Monitor // nil unless WithHealthMonitoring
+}
+
+// New creates a Generator and runs the paper's InitializeGenerator
+// (Algorithm 1): a random start vertex from 64 feed bits followed by
+// the mixing walk.
+func New(opts ...Option) (*Generator, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	bits, mon, err := c.bits(0)
+	if err != nil {
+		return nil, err
+	}
+	w, err := core.NewWalker(bits, c.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{w: w, health: mon}, nil
+}
+
+// HealthErr returns the first feed health-test failure, or nil.
+// Always nil when WithHealthMonitoring was not requested.
+func (g *Generator) HealthErr() error {
+	if g.health == nil {
+		return nil
+	}
+	return g.health.Err()
+}
+
+// Uint64 returns the next random value — the paper's GetNextRand
+// (Algorithm 2).
+func (g *Generator) Uint64() uint64 { return g.w.Next() }
+
+// Uint32 returns the top 32 bits of the next value.
+func (g *Generator) Uint32() uint32 { return uint32(g.w.Next() >> 32) }
+
+// Float64 returns a uniform value in [0, 1).
+func (g *Generator) Float64() float64 { return rng.Float64(g.w) }
+
+// Uint64n returns a uniform value in [0, n); it panics if n is 0.
+func (g *Generator) Uint64n(n uint64) uint64 { return rng.Uint64n(g.w, n) }
+
+// Intn returns a uniform value in [0, n); it panics if n ≤ 0.
+func (g *Generator) Intn(n int) int {
+	if n <= 0 {
+		panic("hybridprng: Intn with non-positive n")
+	}
+	return int(rng.Uint64n(g.w, uint64(n)))
+}
+
+// NormFloat64 returns a standard normal variate.
+func (g *Generator) NormFloat64() float64 { return rng.NormFloat64(g.w) }
+
+// Fill writes successive values into dst.
+func (g *Generator) Fill(dst []uint64) { g.w.Fill(dst) }
+
+// Skip discards the next n values (the stream advances exactly as if
+// they had been drawn).
+func (g *Generator) Skip(n uint64) { g.w.Skip(n) }
+
+// Read fills p with random bytes (io.Reader). It always fills the
+// whole slice and never returns an error; partially consumed words
+// are discarded between calls, so byte streams from separate Read
+// calls of the same total length are NOT bitwise identical to one
+// long Read.
+func (g *Generator) Read(p []byte) (int, error) {
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		v := g.w.Next()
+		p[i] = byte(v)
+		p[i+1] = byte(v >> 8)
+		p[i+2] = byte(v >> 16)
+		p[i+3] = byte(v >> 24)
+		p[i+4] = byte(v >> 32)
+		p[i+5] = byte(v >> 40)
+		p[i+6] = byte(v >> 48)
+		p[i+7] = byte(v >> 56)
+	}
+	if i < len(p) {
+		v := g.w.Next()
+		for ; i < len(p); i++ {
+			p[i] = byte(v)
+			v >>= 8
+		}
+	}
+	return len(p), nil
+}
+
+// Position exposes the walk's current expander vertex.
+func (g *Generator) Position() expander.Vertex { return g.w.Position() }
+
+// Generated returns how many numbers this generator has produced.
+func (g *Generator) Generated() uint64 { return g.w.Generated() }
+
+// Shuffle pseudo-randomises the order of n elements using swap, like
+// math/rand.Shuffle.
+func (g *Generator) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := int(rng.Uint64n(g.w, uint64(i+1)))
+		swap(i, j)
+	}
+}
+
+// mathSource adapts a Generator to math/rand.Source64.
+type mathSource struct{ g *Generator }
+
+func (s mathSource) Uint64() uint64  { return s.g.Uint64() }
+func (s mathSource) Int63() int64    { return int64(s.g.Uint64() >> 1) }
+func (s mathSource) Seed(seed int64) {} // streams are seeded at construction
+// MathRandSource returns a math/rand.Source64 view of the generator,
+// so it can drive rand.New for the full math/rand distribution
+// toolkit.
+func (g *Generator) MathRandSource() rand.Source64 { return mathSource{g} }
+
+// Shared wraps a Generator behind a mutex for callers that insist on
+// one stream shared across goroutines. Prefer Parallel.
+type Shared struct {
+	mu sync.Mutex
+	g  *Generator
+}
+
+// NewShared creates a mutex-guarded generator.
+func NewShared(opts ...Option) (*Shared, error) {
+	g, err := New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Shared{g: g}, nil
+}
+
+// Uint64 returns the next value under the lock.
+func (s *Shared) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.Uint64()
+}
+
+// Float64 returns a uniform [0,1) value under the lock.
+func (s *Shared) Float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.g.Float64()
+}
+
+// Parallel is a pool of independent generators, one per worker —
+// the library form of the paper's per-thread walks. Fill splits
+// batches across workers; Worker hands a private generator to each
+// goroutine.
+type Parallel struct {
+	pool     *core.Pool
+	monitors []*bitsource.Monitor
+}
+
+// NewParallel creates a pool of `workers` independent generators
+// with derived seeds.
+func NewParallel(workers int, opts ...Option) (*Parallel, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	var monitors []*bitsource.Monitor
+	var bitsErr error
+	pool, err := core.NewPool(workers, c.coreConfig(), func(i int) *rng.BitReader {
+		br, mon, err := c.bits(i)
+		if err != nil {
+			// Unreachable in practice (options are validated before
+			// this point); keep the pool constructor total and
+			// surface the error after it returns.
+			bitsErr = err
+			return rng.NewBitReader(c.feedSource(i))
+		}
+		if mon != nil {
+			monitors = append(monitors, mon)
+		}
+		return br
+	})
+	if err != nil {
+		return nil, err
+	}
+	if bitsErr != nil {
+		return nil, bitsErr
+	}
+	return &Parallel{pool: pool, monitors: monitors}, nil
+}
+
+// HealthErr returns the first health failure across the pool's
+// workers, or nil.
+func (p *Parallel) HealthErr() error {
+	for _, m := range p.monitors {
+		if err := m.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Workers returns the pool size.
+func (p *Parallel) Workers() int { return p.pool.Size() }
+
+// Worker returns worker i's private generator; hand each goroutine
+// its own.
+func (p *Parallel) Worker(i int) *Generator {
+	return &Generator{w: p.pool.Walker(i)}
+}
+
+// Fill writes len(dst) values, sharded across the workers
+// concurrently; the result is deterministic for a fixed seed.
+func (p *Parallel) Fill(dst []uint64) { p.pool.Fill(dst) }
+
+// Generated sums the numbers produced across all workers.
+func (p *Parallel) Generated() uint64 { return p.pool.Generated() }

@@ -1,0 +1,166 @@
+package hybridprng
+
+import (
+	"encoding"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/expander"
+	"repro/internal/rng"
+)
+
+// Generator state serialisation: MarshalBinary captures everything —
+// configuration, walk position, output count, the feed generator's
+// internal state and the bit-reader's partial word — so
+// UnmarshalBinary resumes the exact stream:
+//
+//	blob, _ := g.MarshalBinary()
+//	g2 := new(hybridprng.Generator)
+//	_ = g2.UnmarshalBinary(blob)
+//	// g2.Uint64() == what g.Uint64() would have returned
+//
+// Format (versioned, little-endian):
+//
+//	magic "hprng" | version | feed tag | walkLen u32 | initWalkLen u32
+//	| pos u64 | generated u64 | brWord u64 | brLeft u8
+//	| feedStateLen u16 | feedState …
+
+const (
+	stateMagic   = "hprng"
+	stateVersion = 1
+)
+
+var (
+	_ encoding.BinaryMarshaler   = (*Generator)(nil)
+	_ encoding.BinaryUnmarshaler = (*Generator)(nil)
+)
+
+// feedTag maps the feed implementation to a persistent tag.
+func feedTag(src rng.Source) (byte, encoding.BinaryMarshaler, error) {
+	switch s := src.(type) {
+	case *baselines.GlibcRand:
+		return 1, s, nil
+	case *baselines.ANSIC:
+		return 2, s, nil
+	case *baselines.SplitMix64:
+		return 3, s, nil
+	default:
+		return 0, nil, fmt.Errorf("hybridprng: feed %T is not checkpointable", src)
+	}
+}
+
+func feedFromTag(tag byte) (rng.Source, encoding.BinaryUnmarshaler, error) {
+	switch tag {
+	case 1:
+		g := baselines.NewGlibcRand(1)
+		return g, g, nil
+	case 2:
+		g := baselines.NewANSIC(1)
+		return g, g, nil
+	case 3:
+		g := baselines.NewSplitMix64(1)
+		return g, g, nil
+	default:
+		return nil, nil, fmt.Errorf("hybridprng: unknown feed tag %d", tag)
+	}
+}
+
+// MarshalBinary checkpoints the generator.
+func (g *Generator) MarshalBinary() ([]byte, error) {
+	br := g.w.Bits()
+	tag, fm, err := feedTag(br.Source())
+	if err != nil {
+		return nil, err
+	}
+	feedState, err := fm.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	if len(feedState) > 0xFFFF {
+		return nil, fmt.Errorf("hybridprng: feed state too large (%d bytes)", len(feedState))
+	}
+	cfg := g.w.Config()
+	word, left := br.State()
+
+	out := append([]byte(stateMagic), stateVersion, tag)
+	var b8 [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b8[:4], v)
+		out = append(out, b8[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		out = append(out, b8[:]...)
+	}
+	put32(uint32(cfg.WalkLen))
+	put32(uint32(cfg.InitWalkLen))
+	put64(g.w.Position().ID())
+	put64(g.w.Generated())
+	put64(word)
+	out = append(out, byte(left))
+	binary.LittleEndian.PutUint16(b8[:2], uint16(len(feedState)))
+	out = append(out, b8[:2]...)
+	return append(out, feedState...), nil
+}
+
+// UnmarshalBinary restores a checkpoint written by MarshalBinary
+// into g, replacing its state entirely.
+func (g *Generator) UnmarshalBinary(data []byte) error {
+	const fixed = len(stateMagic) + 2 + 4 + 4 + 8 + 8 + 8 + 1 + 2
+	if len(data) < fixed {
+		return fmt.Errorf("hybridprng: state too short (%d bytes)", len(data))
+	}
+	if string(data[:len(stateMagic)]) != stateMagic {
+		return fmt.Errorf("hybridprng: bad state magic")
+	}
+	p := data[len(stateMagic):]
+	if p[0] != stateVersion {
+		return fmt.Errorf("hybridprng: unsupported state version %d", p[0])
+	}
+	tag := p[1]
+	p = p[2:]
+	walkLen := binary.LittleEndian.Uint32(p)
+	initWalkLen := binary.LittleEndian.Uint32(p[4:])
+	pos := binary.LittleEndian.Uint64(p[8:])
+	generated := binary.LittleEndian.Uint64(p[16:])
+	brWord := binary.LittleEndian.Uint64(p[24:])
+	brLeft := p[32]
+	feedLen := int(binary.LittleEndian.Uint16(p[33:]))
+	p = p[35:]
+	if len(p) != feedLen {
+		return fmt.Errorf("hybridprng: feed state length %d, want %d", len(p), feedLen)
+	}
+	if brLeft > 64 {
+		return fmt.Errorf("hybridprng: bit buffer count %d out of range", brLeft)
+	}
+	// Bound the walk lengths: a forged blob must not be able to turn
+	// every draw into a multi-minute walk.
+	const maxWalk = 1 << 20
+	if walkLen < 1 || walkLen > maxWalk {
+		return fmt.Errorf("hybridprng: walk length %d outside [1, %d]", walkLen, maxWalk)
+	}
+	if initWalkLen > maxWalk {
+		return fmt.Errorf("hybridprng: init walk length %d exceeds %d", initWalkLen, maxWalk)
+	}
+
+	src, fu, err := feedFromTag(tag)
+	if err != nil {
+		return err
+	}
+	if err := fu.UnmarshalBinary(p); err != nil {
+		return err
+	}
+	br := rng.NewBitReader(src)
+	br.SetState(brWord, uint(brLeft))
+	w, err := core.RestoreWalker(br, core.Config{
+		WalkLen:     int(walkLen),
+		InitWalkLen: int(initWalkLen),
+	}, expander.VertexFromID(pos), generated)
+	if err != nil {
+		return err
+	}
+	g.w = w
+	return nil
+}

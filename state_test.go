@@ -1,0 +1,112 @@
+package hybridprng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckpointResumesExactStream(t *testing.T) {
+	for _, feed := range []string{FeedGlibc, FeedANSIC, FeedSplitMix} {
+		g, err := New(WithSeed(99), WithFeed(feed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Advance into the stream — including a partial bit-buffer
+		// position.
+		for i := 0; i < 137; i++ {
+			g.Uint64()
+		}
+		blob, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: %v", feed, err)
+		}
+		restored := new(Generator)
+		if err := restored.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("%s: %v", feed, err)
+		}
+		if restored.Generated() != g.Generated() {
+			t.Errorf("%s: generated %d, want %d", feed, restored.Generated(), g.Generated())
+		}
+		for i := 0; i < 500; i++ {
+			if a, b := g.Uint64(), restored.Uint64(); a != b {
+				t.Fatalf("%s: streams diverge at +%d: %x vs %x", feed, i, a, b)
+			}
+		}
+	}
+}
+
+func TestCheckpointPreservesOptions(t *testing.T) {
+	g, _ := New(WithSeed(5), WithWalkLength(17), WithInitWalkLength(3))
+	g.Uint64()
+	blob, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := new(Generator)
+	if err := r.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if g.Uint64() != r.Uint64() {
+			t.Fatal("non-default walk length not preserved")
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	r := new(Generator)
+	if err := r.UnmarshalBinary(nil); err == nil {
+		t.Error("nil blob should fail")
+	}
+	if err := r.UnmarshalBinary([]byte("not a state blob at all......")); err == nil {
+		t.Error("bad magic should fail")
+	}
+	g, _ := New(WithSeed(1))
+	blob, _ := g.MarshalBinary()
+	// Corrupt the version.
+	bad := append([]byte(nil), blob...)
+	bad[len(stateMagic)] = 99
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Error("bad version should fail")
+	}
+	// Corrupt the feed tag.
+	bad = append([]byte(nil), blob...)
+	bad[len(stateMagic)+1] = 99
+	if err := r.UnmarshalBinary(bad); err == nil {
+		t.Error("bad feed tag should fail")
+	}
+	// Truncate.
+	if err := r.UnmarshalBinary(blob[:len(blob)-3]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+}
+
+func TestCheckpointRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, drawsRaw uint16) bool {
+		draws := int(drawsRaw) % 200
+		g, err := New(WithSeed(seed))
+		if err != nil {
+			return false
+		}
+		for i := 0; i < draws; i++ {
+			g.Uint64()
+		}
+		blob, err := g.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		r := new(Generator)
+		if err := r.UnmarshalBinary(blob); err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			if g.Uint64() != r.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
