@@ -1,0 +1,91 @@
+// Command randd serves on-demand randomness from a sharded pool of
+// expander walkers over HTTP — the paper's "any thread asks for the
+// next number at any time" property exposed as a network service.
+//
+//	randd -addr :8080 -shards 16 -hmin 4
+//	curl 'localhost:8080/u64?n=4'
+//	curl -s 'localhost:8080/bytes?n=1048576' | wc -c
+//	curl -s 'localhost:8080/stream' | head -c 80 | xxd
+//	curl -i 'localhost:8080/healthz'
+//	curl -s 'localhost:8080/metrics'
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	hybridprng "repro"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		shards   = flag.Int("shards", 0, "shard count, rounded up to a power of two (0 = next power of two ≥ GOMAXPROCS)")
+		buffer   = flag.Int("buffer", 0, "per-shard ring buffer in words (0 = default)")
+		feed     = flag.String("feed", hybridprng.FeedGlibc, "feed generator: glibc, ansic or splitmix")
+		seed     = flag.Uint64("seed", 0, "fixed feed seed (only with -seeded; default: OS entropy)")
+		seeded   = flag.Bool("seeded", false, "use -seed instead of OS entropy (reproducible streams)")
+		walk     = flag.Int("walk", 0, "expander steps per number (0 = the paper's 64)")
+		hmin     = flag.Float64("hmin", 4, "claimed feed min-entropy bits/byte for SP 800-90B health monitoring; 0 disables")
+		maxWords = flag.Uint64("max-request", 0, "per-request cap for /u64 and /bytes in words (0 = default)")
+	)
+	flag.Parse()
+
+	opts := []hybridprng.Option{hybridprng.WithFeed(*feed)}
+	if *shards > 0 {
+		opts = append(opts, hybridprng.WithShards(*shards))
+	}
+	if *buffer > 0 {
+		opts = append(opts, hybridprng.WithShardBuffer(*buffer))
+	}
+	if *seeded {
+		opts = append(opts, hybridprng.WithSeed(*seed))
+	}
+	if *walk > 0 {
+		opts = append(opts, hybridprng.WithWalkLength(*walk))
+	}
+	if *hmin > 0 {
+		opts = append(opts, hybridprng.WithHealthMonitoring(*hmin))
+	}
+	pool, err := hybridprng.NewPool(opts...)
+	if err != nil {
+		log.Fatalf("randd: %v", err)
+	}
+	srv, err := server.New(pool, server.Options{MaxWords: *maxWords})
+	if err != nil {
+		log.Fatalf("randd: %v", err)
+	}
+	expvar.Publish("randd", srv.MetricsVar())
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go func() {
+		log.Printf("randd: serving %d shards on %s (feed %s, health hMin %g)",
+			pool.Shards(), *addr, *feed, *hmin)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("randd: %v", err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "randd: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("randd: shutdown: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package hybridprng
 
 import (
 	"bytes"
+	"math"
 	"testing"
 )
 
@@ -75,4 +76,102 @@ func FuzzOptionsNeverPanic(f *testing.F) {
 		}
 		g.Uint64()
 	})
+}
+
+// FuzzStateMutationNeverPanics starts from a *valid* checkpoint and
+// applies targeted corruption (bit flips, truncation), which drives
+// the decoder much deeper than arbitrary-bytes fuzzing: most mutants
+// pass the magic/version gates and stress the field validation.
+// Every mutant must round-trip to an error or a working generator —
+// never a panic — and an unmutated blob must restore the exact
+// stream.
+func FuzzStateMutationNeverPanics(f *testing.F) {
+	f.Add(uint64(1), uint16(0), uint8(0), uint16(0))
+	f.Add(uint64(2), uint16(7), uint8(3), uint16(0))
+	f.Add(uint64(3), uint16(40), uint8(0xFF), uint16(5))
+	f.Fuzz(func(t *testing.T, seed uint64, pos uint16, flip uint8, truncate uint16) {
+		g, err := New(WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Uint64()
+		blob, err := g.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated := append([]byte(nil), blob...)
+		if len(mutated) > 0 {
+			mutated[int(pos)%len(mutated)] ^= flip
+		}
+		if cut := int(truncate) % (len(mutated) + 1); cut > 0 {
+			mutated = mutated[:len(mutated)-cut]
+		}
+		r := new(Generator)
+		if err := r.UnmarshalBinary(mutated); err == nil {
+			r.Uint64() // decodable mutants must still work
+		}
+		// The pristine blob must always restore the exact stream.
+		r2 := new(Generator)
+		if err := r2.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("pristine blob rejected: %v", err)
+		}
+		if g.Uint64() != r2.Uint64() {
+			t.Fatal("pristine restore diverged")
+		}
+	})
+}
+
+// FuzzOptionValidation fuzzes the stringly/float option paths —
+// WithFeed, WithHealthMonitoring, WithWalkLength, WithShards,
+// WithShardBuffer. Invalid values must error (a NaN min-entropy
+// claim once slipped through the `<= 0 || > 8` comparison chain);
+// valid ones must yield a generator whose first draw works and whose
+// health state starts clean.
+func FuzzOptionValidation(f *testing.F) {
+	f.Add("glibc", 4.0, 64, 1)
+	f.Add("ansic", 8.0, 1, 2)
+	f.Add("splitmix", 0.5, 128, 7)
+	f.Add("", -1.0, 0, 0)
+	f.Add("mt19937", math.NaN(), -3, 100000)
+	f.Fuzz(func(t *testing.T, feed string, hMin float64, walk, shards int) {
+		opts := []Option{WithFeed(feed), WithHealthMonitoring(hMin), WithSeed(9)}
+		if walk != 0 {
+			opts = append(opts, WithWalkLength(walk%2000))
+		}
+		g, err := New(opts...)
+		if err != nil {
+			if feed == FeedGlibc || feed == FeedANSIC || feed == FeedSplitMix {
+				if hMin > 0 && hMin <= 8 && (walk == 0 || walk%2000 >= 1) {
+					t.Fatalf("valid options rejected: %v", err)
+				}
+			}
+			return
+		}
+		if !(hMin > 0 && hMin <= 8) {
+			t.Fatalf("invalid min-entropy claim %v accepted", hMin)
+		}
+		g.Uint64()
+		if g.HealthErr() != nil {
+			t.Fatalf("fresh generator unhealthy: %v", g.HealthErr())
+		}
+		// The same options must also build a working sharded pool.
+		poolOpts := append(opts, WithShards(1+abs(shards)%8), WithShardBuffer(16))
+		p, err := NewPool(poolOpts...)
+		if err != nil {
+			t.Fatalf("NewPool rejected options New accepted: %v", err)
+		}
+		if _, err := p.Uint64(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func abs(n int) int {
+	if n < 0 {
+		if n == math.MinInt {
+			return 0
+		}
+		return -n
+	}
+	return n
 }

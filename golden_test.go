@@ -1,0 +1,86 @@
+package hybridprng
+
+import "testing"
+
+// goldenSeed is the fixed seed behind every pinned vector below.
+const goldenSeed = 12345
+
+// goldenVectors pins the first 16 outputs of New(WithSeed(12345),
+// WithFeed(feed)) for every feed. These are regression anchors, not
+// derived truths: refactors of the hot loop (core.Walker.walk, the
+// step tables, BitReader, the feed generators, seed derivation) must
+// keep every stream bit-identical. If a change intentionally alters
+// the streams, that is a breaking change to every persisted
+// checkpoint and reproducible simulation — bump the state version,
+// say so loudly in the changelog, and re-pin.
+var goldenVectors = map[string][16]uint64{
+	FeedGlibc: {
+		0x8a8f3e4fd241fdc6, 0x96b6812037f32e4f, 0x43cd1ce71cda7ef5, 0xf17b24b2d2138291,
+		0x3df502a9fcfad511, 0x7db3e2681c74746d, 0xbc5bc488bcda04c0, 0xd89d0c0c9ea3e4c7,
+		0xcb186ead6cd62470, 0xae2536e0ba490114, 0xc7e13e57bcbf5ec3, 0xa6eb3406515b3988,
+		0x30c2cf1db63957bb, 0x8477ec1879052e48, 0x379fd2a88851dcb9, 0x514700be16e4f4b2,
+	},
+	FeedANSIC: {
+		0x8354cb7bb14d514e, 0xd816b4106b75ef01, 0xede3c90211e95469, 0x2f4820d955e4703a,
+		0x2801674475bd770c, 0xbd0968a07b16743a, 0x5d98a6c12bea6d7c, 0xce1a8342d366e621,
+		0x81e8d40baafa83c0, 0xa17f56de831fecc6, 0x31acda266cd49cd7, 0xbdfe5fd70a70c8fa,
+		0x14449a6c6447cd74, 0x12f13d0a3f9352bc, 0xa3df8d954752882f, 0x7088a03ea8a6e875,
+	},
+	FeedSplitMix: {
+		0xafdf12081e010c7d, 0x9cd900e4d336528c, 0xa7eba03f7d4280e3, 0xf785719779c1e4fe,
+		0xa21b7ef9c6996999, 0x1e2b038d326a939b, 0x2b99d80d30fc3984, 0xdea99da5d63088d2,
+		0x34374e188f952e54, 0x58314d37356cf147, 0xa0de21081837411a, 0xad78ad7cba338a05,
+		0x8f1571410b70df7c, 0x2caea09b7873b929, 0x107adbbbace2b6a9, 0x7d1a2b34a308f7be,
+	},
+}
+
+// TestGoldenVectors checks every feed's pinned stream prefix.
+func TestGoldenVectors(t *testing.T) {
+	for feed, want := range goldenVectors {
+		t.Run(feed, func(t *testing.T) {
+			g, err := New(WithSeed(goldenSeed), WithFeed(feed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range want {
+				if got := g.Uint64(); got != w {
+					t.Fatalf("output %d = %#016x, want %#016x — the %s stream changed; see goldenVectors doc", i, got, w, feed)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenFillMatchesUint64 pins the batch path to the same
+// stream: Fill must be draw-for-draw identical to repeated Uint64.
+func TestGoldenFillMatchesUint64(t *testing.T) {
+	g, err := New(WithSeed(goldenSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [16]uint64
+	g.Fill(got[:])
+	if got != goldenVectors[FeedGlibc] {
+		t.Fatalf("Fill diverged from the pinned Uint64 stream:\n got %#016x\nwant %#016x", got, goldenVectors[FeedGlibc])
+	}
+}
+
+// TestGoldenPoolShardZero pins the pool's seed derivation: shard 0
+// of a single-shard Pool owns exactly the stream of a plain seeded
+// Generator (both derive the worker-0 feed seed).
+func TestGoldenPoolShardZero(t *testing.T) {
+	p, err := NewPool(WithSeed(goldenSeed), WithShards(1), WithShardBuffer(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := goldenVectors[FeedGlibc]
+	for i, w := range want {
+		got, err := p.Uint64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != w {
+			t.Fatalf("pool output %d = %#016x, want %#016x", i, got, w)
+		}
+	}
+}

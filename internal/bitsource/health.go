@@ -32,6 +32,11 @@ func (e *HealthError) Error() string {
 // tripped: Uint64 keeps returning values (the interface cannot
 // error) but Err reports the failure and Tripped is true — callers
 // must check Err at their consumption boundary.
+//
+// Drawing (Uint64) is single-consumer like every Source in this
+// repository, but Err, Tripped and Stats are safe to call from any
+// goroutine concurrently with draws — the serving layer polls them
+// from health endpoints while shards keep generating.
 type Monitor struct {
 	src rng.Source
 
@@ -48,8 +53,7 @@ type Monitor struct {
 	aptBound   int
 	haveSample bool
 
-	tripped atomic.Bool
-	err     error
+	err atomic.Pointer[HealthError]
 }
 
 // NewMonitor wraps src with health tests calibrated for a source
@@ -62,7 +66,7 @@ func NewMonitor(src rng.Source, hMin float64) (*Monitor, error) {
 	if src == nil {
 		return nil, fmt.Errorf("bitsource: nil source")
 	}
-	if hMin <= 0 || hMin > 8 {
+	if !(hMin > 0 && hMin <= 8) { // rejects NaN too, which <=/> chains let through
 		return nil, fmt.Errorf("bitsource: claimed min-entropy %g outside (0, 8]", hMin)
 	}
 	const alphaExp = 30 // α = 2^-30
@@ -104,21 +108,51 @@ func critBinom(n int, p, alpha float64) int {
 
 // trip records the first failure.
 func (m *Monitor) trip(test, detail string) {
-	if m.tripped.CompareAndSwap(false, true) {
-		m.err = &HealthError{Test: test, Detail: detail}
-	}
+	m.err.CompareAndSwap(nil, &HealthError{Test: test, Detail: detail})
 }
 
 // Err returns the first health failure, or nil.
 func (m *Monitor) Err() error {
-	if !m.tripped.Load() {
-		return nil
+	if e := m.err.Load(); e != nil {
+		return e
 	}
-	return m.err
+	return nil
 }
 
 // Tripped reports whether a health test has failed.
-func (m *Monitor) Tripped() bool { return m.tripped.Load() }
+func (m *Monitor) Tripped() bool { return m.err.Load() != nil }
+
+// ForceTrip trips the monitor as if a health test had failed —
+// fault injection for operational drills and for testing the
+// degradation paths of consumers (a tripped monitor is sticky, so a
+// forced trip after a real failure is a no-op).
+func (m *Monitor) ForceTrip(detail string) { m.trip("forced", detail) }
+
+// Stats is a point-in-time snapshot of a Monitor's calibration and
+// trip state.
+type Stats struct {
+	Tripped   bool
+	Failure   string // empty until tripped
+	RCTCutoff int
+	APTCutoff int
+	APTWindow int
+}
+
+// Stats returns the monitor's calibration and trip state. Unlike the
+// test counters themselves, everything here is immutable or atomic,
+// so Stats is safe to call while another goroutine draws.
+func (m *Monitor) Stats() Stats {
+	s := Stats{
+		RCTCutoff: m.rctBound,
+		APTCutoff: m.aptBound,
+		APTWindow: m.aptWindow,
+	}
+	if e := m.err.Load(); e != nil {
+		s.Tripped = true
+		s.Failure = e.Error()
+	}
+	return s
+}
 
 // Uint64 draws a word and feeds its bytes through both health tests.
 func (m *Monitor) Uint64() uint64 {

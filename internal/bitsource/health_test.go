@@ -1,6 +1,7 @@
 package bitsource
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -18,6 +19,66 @@ func TestMonitorValidation(t *testing.T) {
 	}
 	if _, err := NewMonitor(src, 9); err == nil {
 		t.Error("entropy claim > 8 should fail")
+	}
+	if _, err := NewMonitor(src, math.NaN()); err == nil {
+		t.Error("NaN entropy claim should fail")
+	}
+}
+
+func TestMonitorForceTrip(t *testing.T) {
+	m, err := NewMonitor(baselines.NewSplitMix64(1), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tripped() {
+		t.Fatal("fresh monitor tripped")
+	}
+	m.ForceTrip("drill")
+	if !m.Tripped() {
+		t.Fatal("ForceTrip did not trip")
+	}
+	he, ok := m.Err().(*HealthError)
+	if !ok || he.Test != "forced" || !strings.Contains(he.Detail, "drill") {
+		t.Fatalf("Err = %v", m.Err())
+	}
+	// First failure stays sticky across further forced trips.
+	m.ForceTrip("second")
+	if m.Err() != error(he) {
+		t.Error("forced trip overwrote the first failure")
+	}
+	m.Uint64() // must stay usable
+}
+
+func TestMonitorStatsConcurrentWithDraws(t *testing.T) {
+	m, err := NewMonitor(baselines.NewSplitMix64(3), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.Tripped || st.Failure != "" {
+		t.Fatalf("fresh stats: %+v", st)
+	}
+	if st.RCTCutoff != m.RCTCutoff() || st.APTCutoff != m.APTCutoff() || st.APTWindow != 512 {
+		t.Fatalf("stats cutoffs: %+v", st)
+	}
+	// Scrape from another goroutine while drawing — the /metrics
+	// pattern; run under -race in CI.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			_ = m.Stats()
+			_ = m.Err()
+			_ = m.Tripped()
+		}
+	}()
+	for i := 0; i < 10000; i++ {
+		m.Uint64()
+	}
+	<-done
+	m.ForceTrip("after")
+	if st := m.Stats(); !st.Tripped || st.Failure == "" {
+		t.Fatalf("tripped stats: %+v", st)
 	}
 }
 

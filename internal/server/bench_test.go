@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	hybridprng "repro"
+)
+
+// The acceptance bar for the serving layer: ≥ 1M uint64s/s over
+// loopback HTTP. The binary /bytes path clears it by >100×; even the
+// decimal-text /u64 path clears it comfortably. Run with
+//
+//	go test -bench Serve -benchtime 2s ./internal/server
+//
+// and read the words/s metric.
+
+func benchPoolServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	pool, err := hybridprng.NewPool(hybridprng.WithSeed(1), hybridprng.WithHealthMonitoring(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := New(pool, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func drain(b *testing.B, client *http.Client, url string) int64 {
+	b.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d", resp.StatusCode)
+	}
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// BenchmarkServeBytes measures the binary fast path: one request per
+// iteration, 1M words (8 MB) each.
+func BenchmarkServeBytes(b *testing.B) {
+	ts := benchPoolServer(b)
+	client := ts.Client()
+	const words = 1 << 20
+	url := fmt.Sprintf("%s/bytes?n=%d", ts.URL, words*8)
+	b.SetBytes(words * 8)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if got := drain(b, client, url); got != words*8 {
+			b.Fatalf("short body: %d", got)
+		}
+	}
+	b.ReportMetric(float64(b.N)*words/time.Since(start).Seconds(), "words/s")
+}
+
+// BenchmarkServeU64Text measures the decimal-text path, 64k words
+// per request.
+func BenchmarkServeU64Text(b *testing.B) {
+	ts := benchPoolServer(b)
+	client := ts.Client()
+	const words = 1 << 16
+	url := fmt.Sprintf("%s/u64?n=%d", ts.URL, words)
+	b.ResetTimer()
+	start := time.Now()
+	var bytes int64
+	for i := 0; i < b.N; i++ {
+		bytes += drain(b, client, url)
+	}
+	b.SetBytes(bytes / int64(b.N))
+	b.ReportMetric(float64(b.N)*words/time.Since(start).Seconds(), "words/s")
+}
+
+// BenchmarkServeStream measures the chunked streaming path, 1M words
+// per request.
+func BenchmarkServeStream(b *testing.B) {
+	ts := benchPoolServer(b)
+	client := ts.Client()
+	const words = 1 << 20
+	url := fmt.Sprintf("%s/stream?words=%d", ts.URL, words)
+	b.SetBytes(words * 8)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if got := drain(b, client, url); got != words*8 {
+			b.Fatalf("short body: %d", got)
+		}
+	}
+	b.ReportMetric(float64(b.N)*words/time.Since(start).Seconds(), "words/s")
+}
+
+// TestLoopbackThroughputFloor asserts the acceptance bar outside
+// short mode (CI's -race -short build skips it: the race detector
+// deliberately trades an order of magnitude of speed for soundness).
+func TestLoopbackThroughputFloor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput floor not meaningful in -short (race) runs")
+	}
+	pool, err := hybridprng.NewPool(hybridprng.WithSeed(1), hybridprng.WithHealthMonitoring(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	const words = 4 << 20
+	start := time.Now()
+	resp, err := ts.Client().Get(fmt.Sprintf("%s/bytes?n=%d", ts.URL, words*8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil || n != words*8 {
+		t.Fatalf("drain: %d bytes, %v", n, err)
+	}
+	rate := words / time.Since(start).Seconds()
+	t.Logf("loopback /bytes: %.1fM uint64/s", rate/1e6)
+	if rate < 1e6 {
+		t.Errorf("loopback rate %.0f words/s below the 1M/s floor", rate)
+	}
+}

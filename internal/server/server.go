@@ -1,0 +1,276 @@
+// Package server is randd's HTTP layer: it exposes a hybridprng.Pool
+// as a streaming randomness service. The endpoints are deliberately
+// boring HTTP so any client (curl, a load balancer's health prober,
+// a metrics scraper) can consume them:
+//
+//	GET /u64?n=N    N decimal uint64s, one per line (default 1)
+//	GET /bytes?n=N  N random octets, application/octet-stream
+//	GET /stream     endless little-endian uint64 stream until the
+//	                client hangs up (or ?words=N words)
+//	GET /healthz    200 while every shard's SP 800-90B monitor is
+//	                clean; 503 with the failure once any shard trips
+//	GET /metrics    JSON metrics via expvar (draws, refills, shard
+//	                occupancy, health trips, request counters)
+//
+// All draw endpoints pull through the pool's batched Fill path, so
+// one HTTP request amortises shard locks over thousands of words.
+package server
+
+import (
+	"encoding/binary"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	hybridprng "repro"
+)
+
+// DefaultMaxWords caps /u64 and /bytes request sizes (in 64-bit
+// words) so a single request cannot hold a connection forever —
+// clients wanting more use /stream.
+const DefaultMaxWords = 1 << 24
+
+// chunkWords is the scratch-buffer size the handlers fill per
+// iteration: big enough to amortise pool and syscall overhead, small
+// enough to stay cache-resident.
+const chunkWords = 8192
+
+// Server serves a Pool over HTTP. Create with New; the zero value is
+// not usable.
+type Server struct {
+	pool     *hybridprng.Pool
+	maxWords uint64
+	mux      *http.ServeMux
+
+	metrics  *expvar.Map
+	requests *expvar.Int
+	reqErrs  *expvar.Int
+	words    *expvar.Int
+}
+
+// Options tunes a Server.
+type Options struct {
+	// MaxWords caps the per-request size of /u64 and /bytes in
+	// words; 0 means DefaultMaxWords.
+	MaxWords uint64
+}
+
+// New builds a Server over pool.
+func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
+	if pool == nil {
+		return nil, fmt.Errorf("server: nil pool")
+	}
+	maxWords := opts.MaxWords
+	if maxWords == 0 {
+		maxWords = DefaultMaxWords
+	}
+	s := &Server{
+		pool:     pool,
+		maxWords: maxWords,
+		requests: new(expvar.Int),
+		reqErrs:  new(expvar.Int),
+		words:    new(expvar.Int),
+	}
+	// The metrics map is built per-Server (not expvar.Publish'd,
+	// which panics on duplicate names across test servers); cmd/randd
+	// publishes it into the global registry once. Funcs snapshot the
+	// pool at scrape time.
+	m := new(expvar.Map).Init()
+	m.Set("requests", s.requests)
+	m.Set("request_errors", s.reqErrs)
+	m.Set("words_served", s.words)
+	m.Set("pool", expvar.Func(func() any { return pool.Stats() }))
+	s.metrics = m
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/u64", s.serveU64)
+	mux.HandleFunc("/bytes", s.serveBytes)
+	mux.HandleFunc("/stream", s.serveStream)
+	mux.HandleFunc("/healthz", s.serveHealthz)
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// MetricsVar returns the server's metrics map for callers that want
+// to expvar.Publish it into the process-global registry.
+func (s *Server) MetricsVar() expvar.Var { return s.metrics }
+
+// countWords parses the ?n= word/byte count with a default of 1 and
+// the server's cap.
+func (s *Server) countWords(w http.ResponseWriter, r *http.Request, param string, cap uint64) (uint64, bool) {
+	q := r.URL.Query().Get(param)
+	if q == "" {
+		return 1, true
+	}
+	n, err := strconv.ParseUint(q, 10, 64)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("bad %s=%q: %v", param, q, err))
+		return 0, false
+	}
+	if n > cap {
+		s.fail(w, http.StatusBadRequest, fmt.Sprintf("%s=%d exceeds cap %d", param, n, cap))
+		return 0, false
+	}
+	return n, true
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
+	s.reqErrs.Add(1)
+	http.Error(w, msg, code)
+}
+
+// serveU64 streams n decimal uint64s, one per line.
+func (s *Server) serveU64(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	n, ok := s.countWords(w, r, "n", s.maxWords)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var scratch [chunkWords]uint64
+	// One reusable text buffer: 20 digits + newline per word.
+	out := make([]byte, 0, chunkWords*21)
+	wrote := false
+	for n > 0 {
+		batch := n
+		if batch > chunkWords {
+			batch = chunkWords
+		}
+		if err := s.pool.Fill(scratch[:batch]); err != nil {
+			s.unhealthy(w, err, wrote)
+			return
+		}
+		out = out[:0]
+		for _, v := range scratch[:batch] {
+			out = strconv.AppendUint(out, v, 10)
+			out = append(out, '\n')
+		}
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+		wrote = true
+		s.words.Add(int64(batch))
+		n -= batch
+	}
+}
+
+// unhealthy reports a pool failure: a clean 503 when the response
+// has not started, a truncated body (the only honest option) when
+// chunks are already on the wire.
+func (s *Server) unhealthy(w http.ResponseWriter, err error, wrote bool) {
+	if wrote {
+		s.reqErrs.Add(1)
+		return
+	}
+	s.fail(w, http.StatusServiceUnavailable, err.Error())
+}
+
+// serveBytes streams n random octets.
+func (s *Server) serveBytes(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	n, ok := s.countWords(w, r, "n", s.maxWords*8)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatUint(n, 10))
+	var scratch [chunkWords]uint64
+	var raw [chunkWords * 8]byte
+	wrote := false
+	for n > 0 {
+		batch := n
+		if batch > uint64(len(raw)) {
+			batch = uint64(len(raw))
+		}
+		words := (batch + 7) / 8
+		if err := s.pool.Fill(scratch[:words]); err != nil {
+			s.unhealthy(w, err, wrote)
+			return
+		}
+		for i, v := range scratch[:words] {
+			binary.LittleEndian.PutUint64(raw[8*i:], v)
+		}
+		if _, err := w.Write(raw[:batch]); err != nil {
+			return
+		}
+		wrote = true
+		s.words.Add(int64(words))
+		n -= batch
+	}
+}
+
+// serveStream writes little-endian uint64s until the client goes
+// away (or ?words=N words have been sent). Each chunk is flushed so
+// slow consumers see bytes promptly.
+func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	limit, ok := s.countWords(w, r, "words", 1<<62)
+	if !ok {
+		return
+	}
+	if r.URL.Query().Get("words") == "" {
+		limit = 1 << 62 // effectively unbounded; the client hangs up
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	flusher, _ := w.(http.Flusher)
+	ctx := r.Context()
+	var scratch [chunkWords]uint64
+	var raw [chunkWords * 8]byte
+	wrote := false
+	for limit > 0 {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		batch := limit
+		if batch > chunkWords {
+			batch = chunkWords
+		}
+		if err := s.pool.Fill(scratch[:batch]); err != nil {
+			s.unhealthy(w, err, wrote)
+			return
+		}
+		for i, v := range scratch[:batch] {
+			binary.LittleEndian.PutUint64(raw[8*i:], v)
+		}
+		if _, err := w.Write(raw[:batch*8]); err != nil {
+			return
+		}
+		wrote = true
+		s.words.Add(int64(batch))
+		if flusher != nil {
+			flusher.Flush()
+		}
+		limit -= batch
+	}
+}
+
+// serveHealthz reports 200 only while every shard's monitor is
+// clean. A single tripped shard flips the probe to 503 — the pool
+// may still be serving from its healthy shards, but a trip means a
+// feed failed its SP 800-90B tests and the instance wants replacing.
+func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	st := s.pool.Stats()
+	if err := s.pool.HealthErr(); err != nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "unhealthy: %v (healthy shards %d/%d)\n", err, st.Healthy, st.Shards)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok (healthy shards %d/%d)\n", st.Healthy, st.Shards)
+}
+
+// serveMetrics emits the metrics map as JSON (expvar's wire format).
+func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintln(w, s.metrics.String())
+}

@@ -1,0 +1,439 @@
+package hybridprng
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/bitsource"
+	"repro/internal/core"
+)
+
+// Pool is the serving-layer generator: a sharded, contention-free
+// pool of expander walkers sized for many concurrent callers. Where
+// Parallel hands each goroutine its own Generator (the paper's
+// per-thread model), Pool serves *anonymous* traffic — any goroutine
+// may call Uint64 or Fill at any time, which is the paper's
+// "on-demand" property pushed up to a service boundary.
+//
+// Internally each shard owns one walker, one feed stream, an
+// optional SP 800-90B health monitor and a small ring buffer of
+// pre-generated words. A draw picks a shard by advancing an atomic
+// ticket and masking (shard counts are powers of two), takes the
+// shard's lock, and serves from the ring; the ring is refilled a
+// batch at a time so the lock and the health check amortise over
+// ShardBuffer draws. Distinct shards never contend with each other.
+//
+// Backpressure: when a shard's feed monitor trips, the shard is
+// retired — its buffered words are discarded (SP 800-90B says output
+// after a failure must not be trusted) and subsequent draws fall
+// through to the next healthy shard. When every shard has tripped,
+// draws fail with ErrPoolUnhealthy. HealthErr and Stats expose the
+// degraded state for /healthz-style probes.
+const (
+	maxShards      = 1 << 12
+	maxShardBuffer = 1 << 20
+
+	// defaultShardBuffer is the ring size in words: big enough that
+	// the shard lock is a small fraction of the walk cost, small
+	// enough that a tripped shard discards little work.
+	defaultShardBuffer = 256
+
+	// directFillThreshold is the Fill size (in words per healthy
+	// shard) above which Fill bypasses the rings and writes straight
+	// from the walkers into the caller's slice.
+	directFillThreshold = 64
+)
+
+// ErrPoolUnhealthy is returned by Pool draws when every shard's feed
+// health monitor has tripped (or been fault-injected): no trustworthy
+// randomness remains in the pool.
+var ErrPoolUnhealthy = errors.New("hybridprng: every pool shard has a tripped health monitor")
+
+// Pool is safe for concurrent use by any number of goroutines.
+type Pool struct {
+	shards  []*poolShard
+	mask    uint64
+	tickets atomic.Uint64
+}
+
+// poolShard is one walker behind a lock with a ring of pre-generated
+// words. tripped is atomic so the hot path of *other* shards and the
+// health probes never take this shard's lock.
+type poolShard struct {
+	mu      sync.Mutex
+	w       *core.Walker
+	mon     *bitsource.Monitor // nil unless WithHealthMonitoring
+	buf     []uint64
+	idx     int // next unread index in buf; len(buf) = empty
+	err     *bitsource.HealthError
+	tripped atomic.Bool
+	draws   atomic.Uint64 // words served to callers
+	refills atomic.Uint64 // ring refills performed
+}
+
+// NewPool builds a sharded pool. The shard count (WithShards,
+// default: next power of two ≥ GOMAXPROCS) is rounded up to a power
+// of two; each shard's feed seed is derived from the pool seed and
+// the shard index exactly as NewParallel derives worker seeds, so a
+// Pool and a Parallel with the same options own the same streams.
+func NewPool(opts ...Option) (*Pool, error) {
+	c, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	n := c.shards
+	if n == 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	n = nextPow2(n)
+	bufWords := c.shardBuffer
+	if bufWords == 0 {
+		bufWords = defaultShardBuffer
+	}
+	p := &Pool{shards: make([]*poolShard, n), mask: uint64(n - 1)}
+	for i := range p.shards {
+		br, mon, err := c.bits(i)
+		if err != nil {
+			return nil, err
+		}
+		w, err := core.NewWalker(br, c.coreConfig())
+		if err != nil {
+			return nil, fmt.Errorf("hybridprng: pool shard %d: %w", i, err)
+		}
+		buf := make([]uint64, bufWords)
+		p.shards[i] = &poolShard{w: w, mon: mon, buf: buf, idx: len(buf)}
+	}
+	return p, nil
+}
+
+func nextPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	if n > maxShards {
+		return maxShards
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// trip retires the shard, recording why. Must be called with s.mu
+// held; the error is published before the flag so concurrent
+// healthErr readers that observe tripped always see the cause.
+func (s *poolShard) trip(e *bitsource.HealthError) {
+	if s.tripped.Load() {
+		return
+	}
+	s.err = e
+	s.tripped.Store(true)
+}
+
+// monTripped reports (and latches) a monitor failure after a refill.
+func (s *poolShard) monTripped() bool {
+	if s.mon == nil || !s.mon.Tripped() {
+		return false
+	}
+	if he, ok := s.mon.Err().(*bitsource.HealthError); ok {
+		s.trip(he)
+	} else {
+		s.trip(&bitsource.HealthError{Test: "monitor", Detail: s.mon.Err().Error()})
+	}
+	return true
+}
+
+// next serves one word from the ring, refilling when empty. ok is
+// false when the shard is (or just became) unhealthy.
+func (s *poolShard) next() (v uint64, ok bool) {
+	if s.tripped.Load() {
+		return 0, false
+	}
+	s.mu.Lock()
+	if s.tripped.Load() {
+		s.mu.Unlock()
+		return 0, false
+	}
+	if s.idx == len(s.buf) {
+		s.w.Fill(s.buf)
+		s.refills.Add(1)
+		if s.monTripped() {
+			s.mu.Unlock()
+			return 0, false
+		}
+		s.idx = 0
+	}
+	v = s.buf[s.idx]
+	s.idx++
+	s.mu.Unlock()
+	s.draws.Add(1)
+	return v, true
+}
+
+// fill writes len(dst) words straight from the walker (bypassing the
+// ring, whose buffered words stay put for Uint64 callers). ok is
+// false when the shard is unhealthy — including a trip detected
+// *after* generating, in which case dst holds untrusted words the
+// caller must overwrite elsewhere.
+func (s *poolShard) fill(dst []uint64) bool {
+	if s.tripped.Load() {
+		return false
+	}
+	s.mu.Lock()
+	if s.tripped.Load() {
+		s.mu.Unlock()
+		return false
+	}
+	s.w.Fill(dst)
+	if s.monTripped() {
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Unlock()
+	s.draws.Add(uint64(len(dst)))
+	return true
+}
+
+// healthErr returns why the shard was retired, or nil.
+func (s *poolShard) healthErr() error {
+	if !s.tripped.Load() {
+		return nil
+	}
+	return s.err
+}
+
+// buffered returns how many unread words sit in the ring.
+func (s *poolShard) buffered() int {
+	s.mu.Lock()
+	n := len(s.buf) - s.idx
+	s.mu.Unlock()
+	return n
+}
+
+// Uint64 returns the next word from a healthy shard. Each call lands
+// on a different shard (atomic ticket & mask), so concurrent callers
+// spread across the pool instead of convoying on one lock. If the
+// chosen shard has tripped the draw falls through to the next
+// healthy one; only a fully tripped pool errors.
+func (p *Pool) Uint64() (uint64, error) {
+	t := p.tickets.Add(1)
+	for i := uint64(0); i <= p.mask; i++ {
+		if v, ok := p.shards[(t+i)&p.mask].next(); ok {
+			return v, nil
+		}
+	}
+	return 0, ErrPoolUnhealthy
+}
+
+// Fill writes len(dst) words, splitting large requests across all
+// healthy shards concurrently and bypassing the rings. Small
+// requests are served from one shard's ring. Any shard that trips
+// mid-fill has its segment regenerated by a healthy shard, so on a
+// nil return every word in dst is trustworthy.
+func (p *Pool) Fill(dst []uint64) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	healthy := p.healthyShards()
+	if len(healthy) == 0 {
+		return ErrPoolUnhealthy
+	}
+	if len(dst) <= directFillThreshold {
+		for i := range dst {
+			v, err := p.Uint64()
+			if err != nil {
+				return err
+			}
+			dst[i] = v
+		}
+		return nil
+	}
+	// Shard the slice across the healthy walkers; don't cut chunks
+	// below the direct-fill threshold or goroutine overhead dominates.
+	n := len(healthy)
+	if max := (len(dst) + directFillThreshold - 1) / directFillThreshold; n > max {
+		n = max
+	}
+	chunk := (len(dst) + n - 1) / n
+	var wg sync.WaitGroup
+	var failedMu sync.Mutex
+	var failed [][]uint64
+	for i := 0; i < n; i++ {
+		lo := i * chunk
+		if lo >= len(dst) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		wg.Add(1)
+		go func(s *poolShard, seg []uint64) {
+			defer wg.Done()
+			if !s.fill(seg) {
+				failedMu.Lock()
+				failed = append(failed, seg)
+				failedMu.Unlock()
+			}
+		}(healthy[i%len(healthy)], dst[lo:hi])
+	}
+	wg.Wait()
+	// Regenerate segments whose shard tripped. Trips are rare, so
+	// serial retry is fine; each pass either succeeds or shrinks the
+	// healthy set, so this terminates.
+	for _, seg := range failed {
+		if err := p.fillSegment(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pool) fillSegment(seg []uint64) error {
+	for {
+		healthy := p.healthyShards()
+		if len(healthy) == 0 {
+			return ErrPoolUnhealthy
+		}
+		for _, s := range healthy {
+			if s.fill(seg) {
+				return nil
+			}
+		}
+	}
+}
+
+// Read fills b with random bytes (little-endian words), so a Pool
+// can stand behind io.Reader plumbing. It draws ⌈len(b)/8⌉ words.
+func (p *Pool) Read(b []byte) (int, error) {
+	var scratch [512]uint64
+	done := 0
+	for done < len(b) {
+		want := (len(b) - done + 7) / 8
+		if want > len(scratch) {
+			want = len(scratch)
+		}
+		if err := p.Fill(scratch[:want]); err != nil {
+			return done, err
+		}
+		for _, v := range scratch[:want] {
+			for k := 0; k < 8 && done < len(b); k++ {
+				b[done] = byte(v >> (8 * k))
+				done++
+			}
+		}
+	}
+	return done, nil
+}
+
+func (p *Pool) healthyShards() []*poolShard {
+	out := make([]*poolShard, 0, len(p.shards))
+	for _, s := range p.shards {
+		if !s.tripped.Load() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Shards returns the shard count (always a power of two).
+func (p *Pool) Shards() int { return len(p.shards) }
+
+// HealthErr returns the first shard's health failure, or nil while
+// every shard is healthy. A non-nil result with healthy shards
+// remaining means the pool is degraded but still serving; Stats
+// distinguishes the two.
+func (p *Pool) HealthErr() error {
+	for _, s := range p.shards {
+		if err := s.healthErr(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InjectFault retires shard i as if its feed health monitor had
+// tripped — the fault-injection hook behind operational drills and
+// the /healthz degradation tests. It works with or without
+// WithHealthMonitoring.
+func (p *Pool) InjectFault(i int) error {
+	if i < 0 || i >= len(p.shards) {
+		return fmt.Errorf("hybridprng: shard %d outside [0, %d)", i, len(p.shards))
+	}
+	s := p.shards[i]
+	if s.mon != nil {
+		s.mon.ForceTrip("fault injection")
+	}
+	s.mu.Lock()
+	if s.mon != nil {
+		s.monTripped()
+	} else {
+		s.trip(&bitsource.HealthError{Test: "forced", Detail: "fault injection"})
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Generated sums the words produced by the shard walkers (including
+// words still buffered in rings and words discarded by trips, which
+// is why Generated ≥ Stats().Draws).
+func (p *Pool) Generated() uint64 {
+	var total uint64
+	for _, s := range p.shards {
+		s.mu.Lock()
+		total += s.w.Generated()
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// ShardStats describes one shard for monitoring.
+type ShardStats struct {
+	Draws    uint64 // words served to callers
+	Refills  uint64 // ring refills
+	Buffered int    // unread words in the ring
+	Tripped  bool
+	Failure  string // empty until tripped
+}
+
+// PoolStats is a point-in-time snapshot for /metrics-style export.
+type PoolStats struct {
+	Shards      int
+	Healthy     int
+	BufferWords int    // ring capacity per shard
+	Draws       uint64 // total words served
+	Refills     uint64 // total ring refills
+	HealthTrips uint64 // shards retired
+	PerShard    []ShardStats
+}
+
+// Stats snapshots the pool. Safe to call concurrently with draws; it
+// takes each shard's lock only to read the ring occupancy.
+func (p *Pool) Stats() PoolStats {
+	st := PoolStats{
+		Shards:      len(p.shards),
+		BufferWords: len(p.shards[0].buf),
+		PerShard:    make([]ShardStats, len(p.shards)),
+	}
+	for i, s := range p.shards {
+		ss := ShardStats{
+			Draws:    s.draws.Load(),
+			Refills:  s.refills.Load(),
+			Buffered: s.buffered(),
+			Tripped:  s.tripped.Load(),
+		}
+		if err := s.healthErr(); err != nil {
+			ss.Failure = err.Error()
+		}
+		st.Draws += ss.Draws
+		st.Refills += ss.Refills
+		if ss.Tripped {
+			st.HealthTrips++
+		} else {
+			st.Healthy++
+		}
+		st.PerShard[i] = ss
+	}
+	return st
+}

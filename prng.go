@@ -56,6 +56,8 @@ type config struct {
 	seed        uint64
 	seeded      bool
 	healthHMin  float64 // 0 = no monitoring
+	shards      int     // 0 = auto (NewPool only)
+	shardBuffer int     // 0 = default (NewPool only)
 }
 
 // Option configures New and NewParallel.
@@ -120,10 +122,45 @@ func WithSeed(seed uint64) Option {
 // conclusion points at.
 func WithHealthMonitoring(hMin float64) Option {
 	return func(c *config) error {
-		if hMin <= 0 || hMin > 8 {
+		if !(hMin > 0 && hMin <= 8) { // rejects NaN too, which <=/> chains let through
 			return fmt.Errorf("hybridprng: claimed min-entropy %g outside (0, 8]", hMin)
 		}
 		c.healthHMin = hMin
+		return nil
+	}
+}
+
+// WithShards sets the shard count for NewPool (rounded up to the
+// next power of two so shard selection is a mask, not a division).
+// The default is the next power of two ≥ GOMAXPROCS. Other
+// constructors ignore it.
+func WithShards(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return fmt.Errorf("hybridprng: shard count %d < 1", n)
+		}
+		if n > maxShards {
+			return fmt.Errorf("hybridprng: shard count %d > %d", n, maxShards)
+		}
+		c.shards = n
+		return nil
+	}
+}
+
+// WithShardBuffer sets the per-shard ring-buffer size in words for
+// NewPool (default 256). Larger buffers amortise the shard lock and
+// the health check over more draws; smaller ones bound the work
+// discarded when a shard's feed monitor trips. Other constructors
+// ignore it.
+func WithShardBuffer(words int) Option {
+	return func(c *config) error {
+		if words < 1 {
+			return fmt.Errorf("hybridprng: shard buffer %d < 1", words)
+		}
+		if words > maxShardBuffer {
+			return fmt.Errorf("hybridprng: shard buffer %d > %d", words, maxShardBuffer)
+		}
+		c.shardBuffer = words
 		return nil
 	}
 }

@@ -1,0 +1,201 @@
+package hybridprng
+
+import (
+	"sync"
+	"testing"
+)
+
+// stressDraws shrinks the stress workloads in -short mode (CI runs
+// them under -race, which multiplies the cost ~10×).
+func stressDraws(t *testing.T, full int) int {
+	if testing.Short() {
+		return full / 10
+	}
+	return full
+}
+
+// TestParallelStress hammers a Parallel pool: every worker generator
+// is drawn by its own goroutine while Fill runs from another, all
+// under the race detector in CI. It also asserts the handout
+// invariants: Worker(i) is stable, Worker(i) ≠ Worker(j), and the
+// aggregate count matches the draws exactly.
+func TestParallelStress(t *testing.T) {
+	const workers = 8
+	draws := stressDraws(t, 20000)
+	p, err := NewParallel(workers, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// No duplicate walker handout: distinct workers → distinct
+	// walkers; repeated handout of the same worker → the same walker
+	// (the Generator wrapper is fresh each time, so compare walkers).
+	walkers := make(map[interface{ Generated() uint64 }]bool)
+	for i := 0; i < workers; i++ {
+		gi := p.Worker(i)
+		if gi.w != p.Worker(i).w {
+			t.Fatalf("Worker(%d) handed out two different walkers", i)
+		}
+		if walkers[gi.w] {
+			t.Fatalf("Worker(%d) duplicates another worker's walker", i)
+		}
+		walkers[gi.w] = true
+	}
+
+	var wg sync.WaitGroup
+	sums := make([]uint64, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := p.Worker(i)
+			var s uint64
+			for j := 0; j < draws; j++ {
+				s ^= g.Uint64()
+			}
+			sums[i] = s
+		}(i)
+	}
+	wg.Wait()
+	if got, want := p.Generated(), uint64(workers*draws); got != want {
+		t.Fatalf("Generated = %d, want %d", got, want)
+	}
+
+	// Determinism: the same seed re-run serially gives the same
+	// per-worker XOR sums — concurrency must not perturb any stream.
+	p2, err := NewParallel(workers, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		g := p2.Worker(i)
+		var s uint64
+		for j := 0; j < draws; j++ {
+			s ^= g.Uint64()
+		}
+		if s != sums[i] {
+			t.Fatalf("worker %d stream changed under concurrency", i)
+		}
+	}
+}
+
+// TestPoolStress drives the sharded Pool from many goroutines mixing
+// single draws, batched fills, byte reads, stats scrapes and a
+// mid-flight fault injection. Run under -race in CI; the assertions
+// are the aggregate-count invariants.
+func TestPoolStress(t *testing.T) {
+	const goroutines = 16
+	draws := stressDraws(t, 10000)
+	p, err := NewPool(WithSeed(7), WithShards(8), WithShardBuffer(64), WithHealthMonitoring(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	served := make([]uint64, goroutines) // words each goroutine successfully drew
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var batch [37]uint64 // deliberately not a divisor of anything
+			for j := 0; j < draws; j++ {
+				switch j % 3 {
+				case 0:
+					if _, err := p.Uint64(); err == nil {
+						served[i]++
+					}
+				case 1:
+					if err := p.Fill(batch[:]); err == nil {
+						served[i] += uint64(len(batch))
+					}
+				default:
+					var b [24]byte
+					if _, err := p.Read(b[:]); err == nil {
+						served[i] += 3
+					}
+				}
+			}
+		}(i)
+	}
+	// Concurrent observers: health probes and stats scrapes, exactly
+	// what /healthz and /metrics do while traffic flows.
+	stop := make(chan struct{})
+	var obs sync.WaitGroup
+	obs.Add(1)
+	go func() {
+		defer obs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = p.Stats()
+			_ = p.HealthErr()
+			_ = p.Generated()
+		}
+	}()
+	// Fault-inject one shard mid-stress; the pool must keep serving.
+	if err := p.InjectFault(3); err != nil {
+		t.Error(err)
+	}
+	wg.Wait()
+	close(stop)
+	obs.Wait()
+
+	var total uint64
+	for _, s := range served {
+		total += s
+	}
+	st := p.Stats()
+	if st.Draws != total {
+		t.Fatalf("pool served %d words, callers got %d", st.Draws, total)
+	}
+	if p.Generated() < st.Draws {
+		t.Fatalf("Generated %d < served %d", p.Generated(), st.Draws)
+	}
+	if st.HealthTrips < 1 || st.Healthy > st.Shards-1 {
+		t.Fatalf("injected fault not reflected: %+v", st)
+	}
+	if p.HealthErr() == nil {
+		t.Fatal("HealthErr nil after injection")
+	}
+	// The uninjected shards must all still be healthy — stress load
+	// alone cannot trip a monitor watching a sane feed.
+	for i, ss := range st.PerShard {
+		if i != 3 && ss.Tripped {
+			t.Errorf("shard %d tripped spontaneously: %s", i, ss.Failure)
+		}
+	}
+}
+
+// TestPoolStressFullTrip drives draws while every shard is being
+// retired, checking the degradation is clean: no panic, and once all
+// shards are gone every path returns ErrPoolUnhealthy.
+func TestPoolStressFullTrip(t *testing.T) {
+	p, err := NewPool(WithSeed(11), WithShards(4), WithShardBuffer(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf [16]uint64
+			for j := 0; j < 2000; j++ {
+				_, _ = p.Uint64()
+				_ = p.Fill(buf[:])
+			}
+		}()
+	}
+	for i := 0; i < p.Shards(); i++ {
+		if err := p.InjectFault(i); err != nil {
+			t.Error(err)
+		}
+	}
+	wg.Wait()
+	if _, err := p.Uint64(); err == nil {
+		t.Fatal("fully tripped pool still serving")
+	}
+}
