@@ -8,6 +8,22 @@
 //	curl -s 'localhost:8080/stream' | head -c 80 | xxd
 //	curl -i 'localhost:8080/healthz'
 //	curl -s 'localhost:8080/metrics'
+//
+// With -state, randd is exactly resumable: it checkpoints the whole
+// pool (every shard's walker, feed, health monitor, ring residue and
+// tripped status) to the given file on shutdown and on demand, and
+// restores from it on boot, continuing every stream bit-for-bit:
+//
+//	randd -addr :8080 -seeded -seed 42 -state /var/lib/randd/state
+//	curl -X POST localhost:8080/snapshot    # checkpoint now
+//	kill -TERM $(pidof randd)               # drain, snapshot, exit
+//	randd -addr :8080 -state /var/lib/randd/state   # resume exactly
+//
+// On SIGTERM/SIGINT the server first drains in-flight requests, then
+// writes the snapshot, so the state file always sits at a request
+// boundary. When the state file exists at boot the generator flags
+// (-shards, -buffer, -feed, -seed, -walk, -hmin) are ignored — the
+// snapshot already pins all of them.
 package main
 
 import (
@@ -37,30 +53,12 @@ func main() {
 		walk     = flag.Int("walk", 0, "expander steps per number (0 = the paper's 64)")
 		hmin     = flag.Float64("hmin", 4, "claimed feed min-entropy bits/byte for SP 800-90B health monitoring; 0 disables")
 		maxWords = flag.Uint64("max-request", 0, "per-request cap for /u64 and /bytes in words (0 = default)")
+		state    = flag.String("state", "", "checkpoint file: restored on boot when present, written on shutdown and by POST /snapshot (empty disables)")
 	)
 	flag.Parse()
 
-	opts := []hybridprng.Option{hybridprng.WithFeed(*feed)}
-	if *shards > 0 {
-		opts = append(opts, hybridprng.WithShards(*shards))
-	}
-	if *buffer > 0 {
-		opts = append(opts, hybridprng.WithShardBuffer(*buffer))
-	}
-	if *seeded {
-		opts = append(opts, hybridprng.WithSeed(*seed))
-	}
-	if *walk > 0 {
-		opts = append(opts, hybridprng.WithWalkLength(*walk))
-	}
-	if *hmin > 0 {
-		opts = append(opts, hybridprng.WithHealthMonitoring(*hmin))
-	}
-	pool, err := hybridprng.NewPool(opts...)
-	if err != nil {
-		log.Fatalf("randd: %v", err)
-	}
-	srv, err := server.New(pool, server.Options{MaxWords: *maxWords})
+	pool, restored := buildPool(*state, *shards, *buffer, *feed, *seed, *seeded, *walk, *hmin)
+	srv, err := server.New(pool, server.Options{MaxWords: *maxWords, StatePath: *state})
 	if err != nil {
 		log.Fatalf("randd: %v", err)
 	}
@@ -72,8 +70,13 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	go func() {
-		log.Printf("randd: serving %d shards on %s (feed %s, health hMin %g)",
-			pool.Shards(), *addr, *feed, *hmin)
+		if restored {
+			log.Printf("randd: serving %d shards on %s (resumed from %s)",
+				pool.Shards(), *addr, *state)
+		} else {
+			log.Printf("randd: serving %d shards on %s (feed %s, health hMin %g)",
+				pool.Shards(), *addr, *feed, *hmin)
+		}
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 			log.Fatalf("randd: %v", err)
 		}
@@ -85,7 +88,61 @@ func main() {
 	fmt.Fprintln(os.Stderr, "randd: shutting down")
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
+	// Drain first, snapshot second: once Shutdown returns no request
+	// is mid-flight, so the checkpoint lands exactly at a request
+	// boundary and a resumed instance continues the streams
+	// bit-for-bit.
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("randd: shutdown: %v", err)
 	}
+	if *state != "" {
+		n, err := srv.Snapshot()
+		if err != nil {
+			log.Printf("randd: final snapshot: %v", err)
+		} else {
+			log.Printf("randd: final snapshot: %d bytes to %s", n, *state)
+		}
+	}
+}
+
+// buildPool restores the pool from the state file when it exists,
+// otherwise constructs a fresh one from the generator flags.
+func buildPool(state string, shards, buffer int, feed string, seed uint64, seeded bool, walk int, hmin float64) (*hybridprng.Pool, bool) {
+	if state != "" {
+		blob, err := os.ReadFile(state)
+		switch {
+		case err == nil:
+			pool := new(hybridprng.Pool)
+			if err := pool.UnmarshalBinary(blob); err != nil {
+				log.Fatalf("randd: restore %s: %v", state, err)
+			}
+			log.Printf("randd: restored %d shards from %s (%d bytes); generator flags ignored", pool.Shards(), state, len(blob))
+			return pool, true
+		case os.IsNotExist(err):
+			log.Printf("randd: no state file at %s, starting fresh", state)
+		default:
+			log.Fatalf("randd: read %s: %v", state, err)
+		}
+	}
+	opts := []hybridprng.Option{hybridprng.WithFeed(feed)}
+	if shards > 0 {
+		opts = append(opts, hybridprng.WithShards(shards))
+	}
+	if buffer > 0 {
+		opts = append(opts, hybridprng.WithShardBuffer(buffer))
+	}
+	if seeded {
+		opts = append(opts, hybridprng.WithSeed(seed))
+	}
+	if walk > 0 {
+		opts = append(opts, hybridprng.WithWalkLength(walk))
+	}
+	if hmin > 0 {
+		opts = append(opts, hybridprng.WithHealthMonitoring(hmin))
+	}
+	pool, err := hybridprng.NewPool(opts...)
+	if err != nil {
+		log.Fatalf("randd: %v", err)
+	}
+	return pool, false
 }

@@ -14,6 +14,14 @@ func FuzzUnmarshalBinaryNeverPanics(f *testing.F) {
 	g.Uint64()
 	blob, _ := g.MarshalBinary()
 	f.Add(blob)
+	gm, _ := New(WithSeed(2), WithHealthMonitoring(4))
+	gm.Uint64()
+	monBlob, _ := gm.MarshalBinary()
+	f.Add(monBlob)
+	gt, _ := New(WithSeed(3), WithHealthMonitoring(4))
+	gt.health.ForceTrip("fuzz seed")
+	tripBlob, _ := gt.MarshalBinary()
+	f.Add(tripBlob)
 	f.Add([]byte{})
 	f.Add([]byte("hprng"))
 	f.Add(bytes.Repeat([]byte{0xFF}, 200))
@@ -25,6 +33,104 @@ func FuzzUnmarshalBinaryNeverPanics(f *testing.F) {
 		// A successful decode must produce a working generator.
 		r.Uint64()
 		r.Float64()
+		r.HealthErr()
+	})
+}
+
+// FuzzPoolUnmarshalNeverPanics feeds arbitrary blobs to the pool
+// snapshot decoder — the bytes randd reads off disk at boot. Corrupt
+// input must error, never panic; a successful decode must yield a
+// pool that either serves draws or reports ErrPoolUnhealthy.
+func FuzzPoolUnmarshalNeverPanics(f *testing.F) {
+	p, _ := NewPool(WithSeed(6), WithShards(2), WithShardBuffer(8), WithHealthMonitoring(4))
+	for i := 0; i < 20; i++ {
+		p.Uint64()
+	}
+	blob, _ := p.MarshalBinary()
+	f.Add(blob)
+	p.InjectFault(1)
+	tripped, _ := p.MarshalBinary()
+	f.Add(tripped)
+	f.Add([]byte{})
+	f.Add([]byte("hprng-pool"))
+	f.Add(bytes.Repeat([]byte{0xAB}, 300))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := new(Pool)
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		if _, err := r.Uint64(); err != nil && err != ErrPoolUnhealthy {
+			t.Fatalf("restored pool returned unexpected error: %v", err)
+		}
+		r.Stats()
+		r.HealthErr()
+	})
+}
+
+// FuzzPoolSnapshotMutation corrupts valid pool snapshots with bit
+// flips and truncation — the deep decoder paths a disk-corrupted
+// state file would hit. Mutants must decode to an error or a serving
+// pool; the pristine blob must always restore the exact streams.
+func FuzzPoolSnapshotMutation(f *testing.F) {
+	f.Add(uint16(0), uint8(0), uint16(0))
+	f.Add(uint16(40), uint8(0xFF), uint16(0))
+	f.Add(uint16(90), uint8(1), uint16(17))
+	f.Fuzz(func(t *testing.T, pos uint16, flip uint8, truncate uint16) {
+		p, err := NewPool(WithSeed(12), WithShards(2), WithShardBuffer(8), WithHealthMonitoring(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 13; i++ {
+			p.Uint64()
+		}
+		blob, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutated := append([]byte(nil), blob...)
+		if len(mutated) > 0 {
+			mutated[int(pos)%len(mutated)] ^= flip
+		}
+		if cut := int(truncate) % (len(mutated) + 1); cut > 0 {
+			mutated = mutated[:len(mutated)-cut]
+		}
+		r := new(Pool)
+		if err := r.UnmarshalBinary(mutated); err == nil {
+			if _, err := r.Uint64(); err != nil && err != ErrPoolUnhealthy {
+				t.Fatalf("decodable mutant broke serving: %v", err)
+			}
+		}
+		r2 := new(Pool)
+		if err := r2.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("pristine pool blob rejected: %v", err)
+		}
+		a, errA := p.Uint64()
+		b, errB := r2.Uint64()
+		if errA != nil || errB != nil || a != b {
+			t.Fatalf("pristine pool restore diverged: %x/%v vs %x/%v", a, errA, b, errB)
+		}
+	})
+}
+
+// FuzzParallelUnmarshalNeverPanics covers the Parallel container
+// decoder the same way.
+func FuzzParallelUnmarshalNeverPanics(f *testing.F) {
+	p, _ := NewParallel(2, WithSeed(8), WithHealthMonitoring(4))
+	p.Fill(make([]uint64, 64))
+	blob, _ := p.MarshalBinary()
+	f.Add(blob)
+	f.Add([]byte{})
+	f.Add([]byte("hprng-par"))
+	f.Add(bytes.Repeat([]byte{0x77}, 250))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := new(Parallel)
+		if err := r.UnmarshalBinary(data); err != nil {
+			return
+		}
+		for i := 0; i < r.Workers(); i++ {
+			r.Worker(i).Uint64()
+		}
+		r.HealthErr()
 	})
 }
 

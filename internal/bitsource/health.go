@@ -1,6 +1,7 @@
 package bitsource
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sync/atomic"
@@ -207,3 +208,161 @@ func (m *Monitor) checkByte(b byte) {
 // and reporting).
 func (m *Monitor) RCTCutoff() int { return m.rctBound }
 func (m *Monitor) APTCutoff() int { return m.aptBound }
+
+// Source returns the wrapped raw source, so checkpointing code can
+// serialise the underlying feed separately from the monitor's own
+// test state.
+func (m *Monitor) Source() rng.Source { return m.src }
+
+// Monitor state serialisation. A checkpointed generator must restore
+// its health tests exactly: the calibration (cutoffs, window), the
+// in-flight test counters, and — crucially — the trip state, so a
+// feed that failed SP 800-90B before the snapshot stays failed after
+// restore. The wrapped source is NOT part of the blob; callers
+// serialise it separately and pass it to RestoreMonitor.
+//
+// Format (versioned, little-endian):
+//
+//	tag 'M' | version | rctBound u32 | aptWindow u32 | aptBound u32
+//	| lastByte u8 | repeats u32 | aptSample u8 | aptCount u32
+//	| aptSeen u32 | haveSample u8 | tripped u8
+//	| [testLen u16 | test | detailLen u16 | detail]  (tripped only)
+const (
+	monitorTag     = 'M'
+	monitorVersion = 1
+
+	// monitorMaxBound caps decoded calibration values and counters so
+	// a forged blob cannot smuggle in absurd state. Real cutoffs are
+	// tiny (RCT ≤ 31, APT ≤ 512 for any valid hMin).
+	monitorMaxBound = 1 << 20
+)
+
+// MarshalBinary encodes the monitor's calibration, test counters and
+// trip state. Not safe to call concurrently with Uint64 draws; the
+// caller must hold whatever lock serialises drawing.
+func (m *Monitor) MarshalBinary() ([]byte, error) {
+	out := []byte{monitorTag, monitorVersion}
+	var b [4]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b[:], v)
+		out = append(out, b[:]...)
+	}
+	putBool := func(v bool) {
+		if v {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	putStr := func(s string) ([]byte, error) {
+		if len(s) > 0xFFFF {
+			return nil, fmt.Errorf("bitsource: monitor detail too long (%d bytes)", len(s))
+		}
+		binary.LittleEndian.PutUint16(b[:2], uint16(len(s)))
+		out = append(out, b[:2]...)
+		return append(out, s...), nil
+	}
+	put32(uint32(m.rctBound))
+	put32(uint32(m.aptWindow))
+	put32(uint32(m.aptBound))
+	out = append(out, m.lastByte)
+	put32(uint32(m.repeats))
+	out = append(out, m.aptSample)
+	put32(uint32(m.aptCount))
+	put32(uint32(m.aptSeen))
+	putBool(m.haveSample)
+	e := m.err.Load()
+	putBool(e != nil)
+	if e != nil {
+		var err error
+		if out, err = putStr(e.Test); err != nil {
+			return nil, err
+		}
+		if out, err = putStr(e.Detail); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// RestoreMonitor rebuilds a monitor over src from a blob written by
+// MarshalBinary. A tripped monitor restores tripped.
+func RestoreMonitor(src rng.Source, data []byte) (*Monitor, error) {
+	if src == nil {
+		return nil, fmt.Errorf("bitsource: nil source")
+	}
+	const fixed = 2 + 4 + 4 + 4 + 1 + 4 + 1 + 4 + 4 + 1 + 1
+	if len(data) < fixed {
+		return nil, fmt.Errorf("bitsource: monitor state too short (%d bytes)", len(data))
+	}
+	if data[0] != monitorTag {
+		return nil, fmt.Errorf("bitsource: monitor state tag %#x, want %#x", data[0], monitorTag)
+	}
+	if data[1] != monitorVersion {
+		return nil, fmt.Errorf("bitsource: unsupported monitor state version %d", data[1])
+	}
+	p := data[2:]
+	get32 := func() int {
+		v := binary.LittleEndian.Uint32(p)
+		p = p[4:]
+		return int(v)
+	}
+	m := &Monitor{src: src}
+	m.rctBound = get32()
+	m.aptWindow = get32()
+	m.aptBound = get32()
+	m.lastByte = p[0]
+	p = p[1:]
+	m.repeats = get32()
+	m.aptSample = p[0]
+	p = p[1:]
+	m.aptCount = get32()
+	m.aptSeen = get32()
+	m.haveSample = p[0] != 0
+	tripped := p[1] != 0
+	p = p[2:]
+	for _, v := range [...]struct {
+		name string
+		val  int
+	}{
+		{"RCT cutoff", m.rctBound},
+		{"APT window", m.aptWindow},
+		{"APT cutoff", m.aptBound},
+	} {
+		if v.val < 1 || v.val > monitorMaxBound {
+			return nil, fmt.Errorf("bitsource: monitor %s %d outside [1, %d]", v.name, v.val, monitorMaxBound)
+		}
+	}
+	if m.repeats < 0 || m.repeats > monitorMaxBound || m.aptCount < 0 || m.aptCount > monitorMaxBound ||
+		m.aptSeen < 0 || m.aptSeen > m.aptWindow {
+		return nil, fmt.Errorf("bitsource: monitor counters out of range")
+	}
+	if tripped {
+		getStr := func(what string) (string, error) {
+			if len(p) < 2 {
+				return "", fmt.Errorf("bitsource: monitor %s truncated", what)
+			}
+			n := int(binary.LittleEndian.Uint16(p))
+			p = p[2:]
+			if len(p) < n {
+				return "", fmt.Errorf("bitsource: monitor %s truncated", what)
+			}
+			s := string(p[:n])
+			p = p[n:]
+			return s, nil
+		}
+		test, err := getStr("failure test name")
+		if err != nil {
+			return nil, err
+		}
+		detail, err := getStr("failure detail")
+		if err != nil {
+			return nil, err
+		}
+		m.err.Store(&HealthError{Test: test, Detail: detail})
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("bitsource: %d trailing bytes after monitor state", len(p))
+	}
+	return m, nil
+}

@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	mathbits "math/bits"
 	"sync"
 
 	"repro/internal/expander"
@@ -102,14 +103,32 @@ func NewWalker(bits *rng.BitReader, cfg Config) (*Walker, error) {
 		full:  cfg.Graph.IsFull(),
 		bits:  bits,
 	}
-	w.pos = expander.VertexFromID(bits.Bits(64))
-	if !w.full {
-		// Clamp the start label into the small graph's vertex set.
+	if w.full {
+		w.pos = expander.VertexFromID(bits.Bits(64))
+	} else {
+		// Draw each coordinate uniformly from Z_m by rejection; the
+		// old `label % m` clamp over-weighted low residues whenever m
+		// was not a power of two.
 		m := uint32(cfg.Graph.M())
-		w.pos = expander.Vertex{X: w.pos.X % m, Y: w.pos.Y % m}
+		w.pos = expander.Vertex{X: uniformMod(bits, m), Y: uniformMod(bits, m)}
 	}
 	w.walk(cfg.InitWalkLen)
 	return w, nil
+}
+
+// uniformMod returns a uniform value in [0, m) by drawing ⌈log₂ m⌉
+// feed bits and rejecting values ≥ m (exact for powers of two, < 2
+// expected draws otherwise).
+func uniformMod(bits *rng.BitReader, m uint32) uint32 {
+	k := uint(mathbits.Len32(m - 1))
+	if k == 0 { // m == 1
+		return 0
+	}
+	for {
+		if v := uint32(bits.Bits(k)); v < m {
+			return v
+		}
+	}
 }
 
 // walk advances the position by l steps, consuming 3 bits per step.
@@ -275,6 +294,21 @@ func NewPool(n int, cfg Config, newBits func(worker int) *rng.BitReader) (*Pool,
 		p.walkers[i] = w
 	}
 	return p, nil
+}
+
+// PoolFromWalkers wraps already-constructed walkers (typically
+// restored from a checkpoint; see hybridprng.Parallel) into a Pool
+// without running Algorithm 1 again.
+func PoolFromWalkers(ws []*Walker) (*Pool, error) {
+	if len(ws) < 1 {
+		return nil, fmt.Errorf("core: pool size %d < 1", len(ws))
+	}
+	for i, w := range ws {
+		if w == nil {
+			return nil, fmt.Errorf("core: nil walker %d", i)
+		}
+	}
+	return &Pool{walkers: ws}, nil
 }
 
 // Size returns the number of walkers.

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	hybridprng "repro"
+)
+
+// resumeOpts builds the fixed-seed pool configuration shared by the
+// interrupted and uninterrupted runs.
+func resumeOpts() []hybridprng.Option {
+	return []hybridprng.Option{
+		hybridprng.WithSeed(20240805),
+		hybridprng.WithShards(4),
+		hybridprng.WithShardBuffer(32),
+		hybridprng.WithHealthMonitoring(4),
+	}
+}
+
+func getStream(t *testing.T, base string, words int) []byte {
+	t.Helper()
+	resp, err := http.Get(base + "/stream?words=" + strconv.Itoa(words))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 8*words {
+		t.Fatalf("stream returned %d bytes, want %d", len(body), 8*words)
+	}
+	return body
+}
+
+func postSnapshot(t *testing.T, base string) {
+	t.Helper()
+	resp, err := http.Post(base+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("snapshot status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestKillResumeStreamContinuity is the subsystem's acceptance test:
+// serve part of a stream, snapshot, throw the server away, restore a
+// new one from the state file, serve the rest — the concatenation
+// must be bitwise identical to one uninterrupted run at the same
+// seed. The requests are whole chunkWords multiples so the
+// interrupted and uninterrupted runs issue the identical sequence of
+// pool Fill calls (the kill lands at a request boundary, exactly
+// what randd's drain-then-snapshot shutdown guarantees).
+func TestKillResumeStreamContinuity(t *testing.T) {
+	const (
+		wordsBefore = chunkWords     // served before the "crash"
+		wordsAfter  = 2 * chunkWords // served after the restore
+	)
+	for _, tc := range []struct {
+		name    string
+		tripped []int // shards to fault before any traffic
+	}{
+		{name: "all-healthy"},
+		{name: "tripped-shard", tripped: []int{2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			statePath := filepath.Join(t.TempDir(), "randd.state")
+
+			// First life: serve wordsBefore, snapshot, die.
+			poolA, err := hybridprng.NewPool(resumeOpts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, i := range tc.tripped {
+				if err := poolA.InjectFault(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			srvA, err := New(poolA, Options{StatePath: statePath})
+			if err != nil {
+				t.Fatal(err)
+			}
+			htA := httptest.NewServer(srvA.Handler())
+			before := getStream(t, htA.URL, wordsBefore)
+			postSnapshot(t, htA.URL)
+			htA.Close()
+
+			// Second life: a fresh pool restored from the file.
+			blob, err := os.ReadFile(statePath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			poolB := new(hybridprng.Pool)
+			if err := poolB.UnmarshalBinary(blob); err != nil {
+				t.Fatal(err)
+			}
+			if got := len(tc.tripped); poolB.Stats().Shards-poolB.Stats().Healthy != got {
+				t.Fatalf("restored pool lost its %d tripped shards", got)
+			}
+			srvB, err := New(poolB, Options{StatePath: statePath})
+			if err != nil {
+				t.Fatal(err)
+			}
+			htB := httptest.NewServer(srvB.Handler())
+			defer htB.Close()
+			after := getStream(t, htB.URL, wordsAfter)
+
+			// Control: the same seed served without interruption.
+			poolC, err := hybridprng.NewPool(resumeOpts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, i := range tc.tripped {
+				if err := poolC.InjectFault(i); err != nil {
+					t.Fatal(err)
+				}
+			}
+			srvC, err := New(poolC, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			htC := httptest.NewServer(srvC.Handler())
+			defer htC.Close()
+			uninterrupted := getStream(t, htC.URL, wordsBefore+wordsAfter)
+
+			resumed := append(append([]byte(nil), before...), after...)
+			if !bytes.Equal(resumed, uninterrupted) {
+				i := 0
+				for i < len(resumed) && resumed[i] == uninterrupted[i] {
+					i++
+				}
+				t.Fatalf("resumed stream diverges from uninterrupted run at byte %d of %d", i, len(resumed))
+			}
+		})
+	}
+}
+
+// TestSnapshotEndpoint covers the admin surface: method gating, the
+// disabled configuration, the JSON receipt and the metrics counters.
+func TestSnapshotEndpoint(t *testing.T) {
+	pool, err := hybridprng.NewPool(hybridprng.WithSeed(5), hybridprng.WithShards(2), hybridprng.WithShardBuffer(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	statePath := filepath.Join(t.TempDir(), "state.bin")
+	srv, err := New(pool, Options{StatePath: statePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := httptest.NewServer(srv.Handler())
+	defer ht.Close()
+
+	// GET is rejected: snapshots mutate durable state.
+	resp, err := http.Get(ht.URL + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /snapshot status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ht.URL+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var receipt struct {
+		Path    string `json:"path"`
+		Bytes   int    `json:"bytes"`
+		Shards  int    `json:"shards"`
+		Ordinal int64  `json:"ordinal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&receipt); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if receipt.Path != statePath || receipt.Shards != 2 || receipt.Ordinal != 1 || receipt.Bytes == 0 {
+		t.Fatalf("bad snapshot receipt: %+v", receipt)
+	}
+	fi, err := os.Stat(statePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(fi.Size()) != receipt.Bytes {
+		t.Fatalf("state file %d bytes, receipt says %d", fi.Size(), receipt.Bytes)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(statePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+	// The metrics surface the snapshot count and a finite age.
+	resp, err = http.Get(ht.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var metrics map[string]any
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if got, ok := metrics["snapshots"].(float64); !ok || got != 1 {
+		t.Errorf("metrics snapshots = %v, want 1", metrics["snapshots"])
+	}
+	age, ok := metrics["snapshot_age_seconds"].(float64)
+	if !ok || age < 0 || age > 300 {
+		t.Errorf("metrics snapshot_age_seconds = %v, want a small non-negative age", metrics["snapshot_age_seconds"])
+	}
+}
+
+// TestSnapshotDisabled checks the endpoint reports a clean error
+// when no state path is configured.
+func TestSnapshotDisabled(t *testing.T) {
+	pool, err := hybridprng.NewPool(hybridprng.WithSeed(5), hybridprng.WithShards(1), hybridprng.WithShardBuffer(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := httptest.NewServer(srv.Handler())
+	defer ht.Close()
+	resp, err := http.Post(ht.URL+"/snapshot", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("disabled /snapshot status %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "disabled") {
+		t.Errorf("disabled /snapshot body %q does not say why", body)
+	}
+	// A "never snapshotted" server reports age -1.
+	resp, err = http.Get(ht.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var metrics map[string]any
+	if err := json.Unmarshal(body, &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := metrics["snapshot_age_seconds"].(float64); !ok || got != -1 {
+		t.Errorf("snapshot_age_seconds = %v, want -1 before any snapshot", metrics["snapshot_age_seconds"])
+	}
+}

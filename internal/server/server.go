@@ -3,25 +3,48 @@
 // boring HTTP so any client (curl, a load balancer's health prober,
 // a metrics scraper) can consume them:
 //
-//	GET /u64?n=N    N decimal uint64s, one per line (default 1)
-//	GET /bytes?n=N  N random octets, application/octet-stream
-//	GET /stream     endless little-endian uint64 stream until the
-//	                client hangs up (or ?words=N words)
-//	GET /healthz    200 while every shard's SP 800-90B monitor is
-//	                clean; 503 with the failure once any shard trips
-//	GET /metrics    JSON metrics via expvar (draws, refills, shard
-//	                occupancy, health trips, request counters)
+//	GET  /u64?n=N    N decimal uint64s, one per line (default 1)
+//	GET  /bytes?n=N  N random octets, application/octet-stream
+//	GET  /stream     endless little-endian uint64 stream until the
+//	                 client hangs up (or ?words=N words)
+//	GET  /healthz    200 while every shard's SP 800-90B monitor is
+//	                 clean; 503 with the failure once any shard trips
+//	GET  /metrics    JSON metrics via expvar (draws, refills, shard
+//	                 occupancy, health trips, request counters,
+//	                 snapshot count/age)
+//	POST /snapshot   checkpoint the pool to the configured state
+//	                 file (write-temp-then-rename); JSON receipt
 //
 // All draw endpoints pull through the pool's batched Fill path, so
 // one HTTP request amortises shard locks over thousands of words.
+//
+// # Exact resume
+//
+// With Options.StatePath set, Snapshot serialises the pool's full
+// state (hybridprng.Pool.MarshalBinary) to disk atomically. A new
+// Server over a pool restored from that file continues every shard's
+// stream exactly where the snapshot left it, so the concatenation of
+// the words served before the snapshot and after the restore is
+// bitwise identical to an uninterrupted run — provided the snapshot
+// was taken at a request boundary (randd drains in-flight requests
+// before its shutdown snapshot). Words a client abandoned mid-request
+// were already consumed from the shard walkers and are discarded, not
+// replayed: the stream never repeats output, which is the only safe
+// failure mode for a randomness service.
 package server
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	hybridprng "repro"
 )
@@ -39,14 +62,22 @@ const chunkWords = 8192
 // Server serves a Pool over HTTP. Create with New; the zero value is
 // not usable.
 type Server struct {
-	pool     *hybridprng.Pool
-	maxWords uint64
-	mux      *http.ServeMux
+	pool      *hybridprng.Pool
+	maxWords  uint64
+	statePath string
+	mux       *http.ServeMux
 
 	metrics  *expvar.Map
 	requests *expvar.Int
 	reqErrs  *expvar.Int
 	words    *expvar.Int
+
+	// Snapshot bookkeeping: snapMu serialises writers (a concurrent
+	// POST /snapshot and a shutdown snapshot must not interleave the
+	// temp-file dance), the counters feed /metrics.
+	snapMu       sync.Mutex
+	snapshots    *expvar.Int
+	lastSnapUnix atomic.Int64 // unix milliseconds; 0 = never
 }
 
 // Options tunes a Server.
@@ -54,6 +85,10 @@ type Options struct {
 	// MaxWords caps the per-request size of /u64 and /bytes in
 	// words; 0 means DefaultMaxWords.
 	MaxWords uint64
+	// StatePath, when non-empty, enables checkpointing: POST
+	// /snapshot (and the Snapshot method) atomically write the
+	// pool's state there. Empty disables the endpoint.
+	StatePath string
 }
 
 // New builds a Server over pool.
@@ -66,11 +101,13 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 		maxWords = DefaultMaxWords
 	}
 	s := &Server{
-		pool:     pool,
-		maxWords: maxWords,
-		requests: new(expvar.Int),
-		reqErrs:  new(expvar.Int),
-		words:    new(expvar.Int),
+		pool:      pool,
+		maxWords:  maxWords,
+		statePath: opts.StatePath,
+		requests:  new(expvar.Int),
+		reqErrs:   new(expvar.Int),
+		words:     new(expvar.Int),
+		snapshots: new(expvar.Int),
 	}
 	// The metrics map is built per-Server (not expvar.Publish'd,
 	// which panics on duplicate names across test servers); cmd/randd
@@ -80,6 +117,14 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	m.Set("requests", s.requests)
 	m.Set("request_errors", s.reqErrs)
 	m.Set("words_served", s.words)
+	m.Set("snapshots", s.snapshots)
+	m.Set("snapshot_age_seconds", expvar.Func(func() any {
+		last := s.lastSnapUnix.Load()
+		if last == 0 {
+			return -1 // never snapshotted
+		}
+		return time.Since(time.UnixMilli(last)).Seconds()
+	}))
 	m.Set("pool", expvar.Func(func() any { return pool.Stats() }))
 	s.metrics = m
 
@@ -89,8 +134,76 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	mux.HandleFunc("/stream", s.serveStream)
 	mux.HandleFunc("/healthz", s.serveHealthz)
 	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/snapshot", s.serveSnapshot)
 	s.mux = mux
 	return s, nil
+}
+
+// Snapshot checkpoints the pool to the configured StatePath: the
+// blob is written to a temp file in the same directory and renamed
+// into place, so a crash mid-write can never leave a torn state file
+// behind. It returns the blob size.
+func (s *Server) Snapshot() (int, error) {
+	if s.statePath == "" {
+		return 0, fmt.Errorf("server: snapshotting disabled (no state path configured)")
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	blob, err := s.pool.MarshalBinary()
+	if err != nil {
+		return 0, fmt.Errorf("server: checkpoint pool: %w", err)
+	}
+	dir, base := filepath.Split(s.statePath)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("server: snapshot temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("server: write snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("server: sync snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("server: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, s.statePath); err != nil {
+		os.Remove(tmpName)
+		return 0, fmt.Errorf("server: publish snapshot: %w", err)
+	}
+	s.snapshots.Add(1)
+	s.lastSnapUnix.Store(time.Now().UnixMilli())
+	return len(blob), nil
+}
+
+// serveSnapshot is the admin endpoint behind Snapshot. POST only —
+// it mutates durable state.
+func (s *Server) serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	n, err := s.Snapshot()
+	if err != nil {
+		s.fail(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(struct {
+		Path    string `json:"path"`
+		Bytes   int    `json:"bytes"`
+		Shards  int    `json:"shards"`
+		UnixMs  int64  `json:"unix_ms"`
+		Ordinal int64  `json:"ordinal"`
+	}{s.statePath, n, s.pool.Shards(), s.lastSnapUnix.Load(), s.snapshots.Value()})
 }
 
 // Handler returns the service's HTTP handler.

@@ -33,6 +33,12 @@ import (
 // through to the next healthy shard. When every shard has tripped,
 // draws fail with ErrPoolUnhealthy. HealthErr and Stats expose the
 // degraded state for /healthz-style probes.
+//
+// A Pool is checkpointable: MarshalBinary/UnmarshalBinary (state.go)
+// capture every shard's walker, monitor, ring residue and tripped
+// status plus the ticket counter, so a restored pool resumes the
+// exact streams — the serving layer's snapshot/restore path rides on
+// this.
 const (
 	maxShards      = 1 << 12
 	maxShardBuffer = 1 << 20

@@ -363,7 +363,10 @@ func (s *Shared) Float64() float64 {
 // batches across workers; Worker hands a private generator to each
 // goroutine.
 type Parallel struct {
-	pool     *core.Pool
+	pool *core.Pool
+	// monitors is indexed by worker (nil entries when monitoring is
+	// off), so Worker(i) can hand out a generator that reports its
+	// own feed's health.
 	monitors []*bitsource.Monitor
 }
 
@@ -374,7 +377,10 @@ func NewParallel(workers int, opts ...Option) (*Parallel, error) {
 	if err != nil {
 		return nil, err
 	}
-	var monitors []*bitsource.Monitor
+	if workers < 1 {
+		return nil, fmt.Errorf("hybridprng: pool size %d < 1", workers)
+	}
+	monitors := make([]*bitsource.Monitor, workers)
 	var bitsErr error
 	pool, err := core.NewPool(workers, c.coreConfig(), func(i int) *rng.BitReader {
 		br, mon, err := c.bits(i)
@@ -385,9 +391,7 @@ func NewParallel(workers int, opts ...Option) (*Parallel, error) {
 			bitsErr = err
 			return rng.NewBitReader(c.feedSource(i))
 		}
-		if mon != nil {
-			monitors = append(monitors, mon)
-		}
+		monitors[i] = mon
 		return br
 	})
 	if err != nil {
@@ -403,6 +407,9 @@ func NewParallel(workers int, opts ...Option) (*Parallel, error) {
 // workers, or nil.
 func (p *Parallel) HealthErr() error {
 	for _, m := range p.monitors {
+		if m == nil {
+			continue
+		}
 		if err := m.Err(); err != nil {
 			return err
 		}
@@ -414,9 +421,11 @@ func (p *Parallel) HealthErr() error {
 func (p *Parallel) Workers() int { return p.pool.Size() }
 
 // Worker returns worker i's private generator; hand each goroutine
-// its own.
+// its own. The generator carries worker i's health monitor, so its
+// HealthErr reflects that worker's feed (not always nil, as it did
+// before the monitor was threaded through).
 func (p *Parallel) Worker(i int) *Generator {
-	return &Generator{w: p.pool.Walker(i)}
+	return &Generator{w: p.pool.Walker(i), health: p.monitors[i]}
 }
 
 // Fill writes len(dst) values, sharded across the workers

@@ -293,10 +293,24 @@ func TestHealthMonitoringOption(t *testing.T) {
 	if err := g.HealthErr(); err != nil {
 		t.Errorf("healthy feed reported %v", err)
 	}
-	// A monitored generator is not checkpointable (the monitor wraps
-	// the feed); the error must be explicit, not a panic.
-	if _, err := g.MarshalBinary(); err == nil {
-		t.Error("marshal of a monitored generator should fail explicitly")
+	// A monitored generator is checkpointable: the monitor is
+	// unwrapped (it used to defeat the feed-tag switch and fail) and
+	// its state rides along in the blob.
+	blob, err := g.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal of a monitored generator failed: %v", err)
+	}
+	restored := new(Generator)
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.health == nil {
+		t.Error("restored generator lost its health monitor")
+	}
+	for i := 0; i < 100; i++ {
+		if g.Uint64() != restored.Uint64() {
+			t.Fatal("monitored restore diverged")
+		}
 	}
 	// Unmonitored generators report nil.
 	g2, _ := New(WithSeed(8))

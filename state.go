@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/baselines"
+	"repro/internal/bitsource"
 	"repro/internal/core"
 	"repro/internal/expander"
 	"repro/internal/rng"
@@ -13,8 +14,9 @@ import (
 
 // Generator state serialisation: MarshalBinary captures everything —
 // configuration, walk position, output count, the feed generator's
-// internal state and the bit-reader's partial word — so
-// UnmarshalBinary resumes the exact stream:
+// internal state, the bit-reader's partial word and (when
+// WithHealthMonitoring is on) the SP 800-90B monitor's counters and
+// trip state — so UnmarshalBinary resumes the exact stream:
 //
 //	blob, _ := g.MarshalBinary()
 //	g2 := new(hybridprng.Generator)
@@ -26,15 +28,29 @@ import (
 //	magic "hprng" | version | feed tag | walkLen u32 | initWalkLen u32
 //	| pos u64 | generated u64 | brWord u64 | brLeft u8
 //	| feedStateLen u16 | feedState …
-
+//	| monStateLen u16 | monState …            (v2; 0 = no monitor)
+//
+// Version 1 blobs (written before health monitoring was
+// checkpointable) end after the feed state and restore with no
+// monitor. Parallel and Pool wrap the same per-walker format in
+// container formats of their own (see their Marshal methods).
 const (
 	stateMagic   = "hprng"
-	stateVersion = 1
+	stateVersion = 2
+
+	parMagic    = "hprng-par"
+	parVersion  = 1
+	poolMagic   = "hprng-pool"
+	poolVersion = 1
 )
 
 var (
 	_ encoding.BinaryMarshaler   = (*Generator)(nil)
 	_ encoding.BinaryUnmarshaler = (*Generator)(nil)
+	_ encoding.BinaryMarshaler   = (*Parallel)(nil)
+	_ encoding.BinaryUnmarshaler = (*Parallel)(nil)
+	_ encoding.BinaryMarshaler   = (*Pool)(nil)
+	_ encoding.BinaryUnmarshaler = (*Pool)(nil)
 )
 
 // feedTag maps the feed implementation to a persistent tag.
@@ -67,10 +83,23 @@ func feedFromTag(tag byte) (rng.Source, encoding.BinaryUnmarshaler, error) {
 	}
 }
 
-// MarshalBinary checkpoints the generator.
-func (g *Generator) MarshalBinary() ([]byte, error) {
-	br := g.w.Bits()
-	tag, fm, err := feedTag(br.Source())
+// marshalWalker encodes one walker's complete resume state. When the
+// walker's bit reader sits behind a bitsource.Monitor the monitor is
+// unwrapped: its raw feed is serialised through the feed-tag table
+// and its own window/counter/trip state rides along, so a restored
+// stream keeps both its position and its health history.
+func marshalWalker(w *core.Walker) ([]byte, error) {
+	br := w.Bits()
+	src := br.Source()
+	var monState []byte
+	if mon, ok := src.(*bitsource.Monitor); ok {
+		var err error
+		if monState, err = mon.MarshalBinary(); err != nil {
+			return nil, err
+		}
+		src = mon.Source()
+	}
+	tag, fm, err := feedTag(src)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +110,10 @@ func (g *Generator) MarshalBinary() ([]byte, error) {
 	if len(feedState) > 0xFFFF {
 		return nil, fmt.Errorf("hybridprng: feed state too large (%d bytes)", len(feedState))
 	}
-	cfg := g.w.Config()
+	if len(monState) > 0xFFFF {
+		return nil, fmt.Errorf("hybridprng: monitor state too large (%d bytes)", len(monState))
+	}
+	cfg := w.Config()
 	word, left := br.State()
 
 	out := append([]byte(stateMagic), stateVersion, tag)
@@ -96,28 +128,34 @@ func (g *Generator) MarshalBinary() ([]byte, error) {
 	}
 	put32(uint32(cfg.WalkLen))
 	put32(uint32(cfg.InitWalkLen))
-	put64(g.w.Position().ID())
-	put64(g.w.Generated())
+	put64(w.Position().ID())
+	put64(w.Generated())
 	put64(word)
 	out = append(out, byte(left))
 	binary.LittleEndian.PutUint16(b8[:2], uint16(len(feedState)))
 	out = append(out, b8[:2]...)
-	return append(out, feedState...), nil
+	out = append(out, feedState...)
+	binary.LittleEndian.PutUint16(b8[:2], uint16(len(monState)))
+	out = append(out, b8[:2]...)
+	return append(out, monState...), nil
 }
 
-// UnmarshalBinary restores a checkpoint written by MarshalBinary
-// into g, replacing its state entirely.
-func (g *Generator) UnmarshalBinary(data []byte) error {
-	const fixed = len(stateMagic) + 2 + 4 + 4 + 8 + 8 + 8 + 1 + 2
-	if len(data) < fixed {
-		return fmt.Errorf("hybridprng: state too short (%d bytes)", len(data))
+// unmarshalWalker decodes a blob written by marshalWalker (or by the
+// v1 encoder). The returned monitor is nil when the blob carries
+// none; otherwise it is already wired between the feed and the
+// returned walker's bit reader.
+func unmarshalWalker(data []byte) (*core.Walker, *bitsource.Monitor, error) {
+	const fixedV1 = len(stateMagic) + 2 + 4 + 4 + 8 + 8 + 8 + 1 + 2
+	if len(data) < fixedV1 {
+		return nil, nil, fmt.Errorf("hybridprng: state too short (%d bytes)", len(data))
 	}
 	if string(data[:len(stateMagic)]) != stateMagic {
-		return fmt.Errorf("hybridprng: bad state magic")
+		return nil, nil, fmt.Errorf("hybridprng: bad state magic")
 	}
 	p := data[len(stateMagic):]
-	if p[0] != stateVersion {
-		return fmt.Errorf("hybridprng: unsupported state version %d", p[0])
+	version := p[0]
+	if version != 1 && version != stateVersion {
+		return nil, nil, fmt.Errorf("hybridprng: unsupported state version %d", version)
 	}
 	tag := p[1]
 	p = p[2:]
@@ -129,38 +167,336 @@ func (g *Generator) UnmarshalBinary(data []byte) error {
 	brLeft := p[32]
 	feedLen := int(binary.LittleEndian.Uint16(p[33:]))
 	p = p[35:]
-	if len(p) != feedLen {
-		return fmt.Errorf("hybridprng: feed state length %d, want %d", len(p), feedLen)
+	if len(p) < feedLen {
+		return nil, nil, fmt.Errorf("hybridprng: feed state truncated (%d of %d bytes)", len(p), feedLen)
+	}
+	feedState := p[:feedLen]
+	p = p[feedLen:]
+	var monState []byte
+	switch version {
+	case 1:
+		if len(p) != 0 {
+			return nil, nil, fmt.Errorf("hybridprng: %d trailing bytes after v1 state", len(p))
+		}
+	default:
+		if len(p) < 2 {
+			return nil, nil, fmt.Errorf("hybridprng: monitor state length truncated")
+		}
+		monLen := int(binary.LittleEndian.Uint16(p))
+		p = p[2:]
+		if len(p) != monLen {
+			return nil, nil, fmt.Errorf("hybridprng: monitor state length %d, want %d", len(p), monLen)
+		}
+		monState = p
 	}
 	if brLeft > 64 {
-		return fmt.Errorf("hybridprng: bit buffer count %d out of range", brLeft)
+		return nil, nil, fmt.Errorf("hybridprng: bit buffer count %d out of range", brLeft)
 	}
 	// Bound the walk lengths: a forged blob must not be able to turn
 	// every draw into a multi-minute walk.
 	const maxWalk = 1 << 20
 	if walkLen < 1 || walkLen > maxWalk {
-		return fmt.Errorf("hybridprng: walk length %d outside [1, %d]", walkLen, maxWalk)
+		return nil, nil, fmt.Errorf("hybridprng: walk length %d outside [1, %d]", walkLen, maxWalk)
 	}
 	if initWalkLen > maxWalk {
-		return fmt.Errorf("hybridprng: init walk length %d exceeds %d", initWalkLen, maxWalk)
+		return nil, nil, fmt.Errorf("hybridprng: init walk length %d exceeds %d", initWalkLen, maxWalk)
 	}
 
 	src, fu, err := feedFromTag(tag)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	if err := fu.UnmarshalBinary(p); err != nil {
-		return err
+	if err := fu.UnmarshalBinary(feedState); err != nil {
+		return nil, nil, err
 	}
-	br := rng.NewBitReader(src)
+	var mon *bitsource.Monitor
+	reader := src
+	if len(monState) > 0 {
+		if mon, err = bitsource.RestoreMonitor(src, monState); err != nil {
+			return nil, nil, err
+		}
+		reader = mon
+	}
+	br := rng.NewBitReader(reader)
 	br.SetState(brWord, uint(brLeft))
 	w, err := core.RestoreWalker(br, core.Config{
 		WalkLen:     int(walkLen),
 		InitWalkLen: int(initWalkLen),
 	}, expander.VertexFromID(pos), generated)
 	if err != nil {
+		return nil, nil, err
+	}
+	return w, mon, nil
+}
+
+// MarshalBinary checkpoints the generator, including a health
+// monitor's state when WithHealthMonitoring is on.
+func (g *Generator) MarshalBinary() ([]byte, error) {
+	return marshalWalker(g.w)
+}
+
+// UnmarshalBinary restores a checkpoint written by MarshalBinary
+// into g, replacing its state entirely. A generator checkpointed
+// with a tripped health monitor restores with HealthErr still
+// reporting the failure.
+func (g *Generator) UnmarshalBinary(data []byte) error {
+	w, mon, err := unmarshalWalker(data)
+	if err != nil {
 		return err
 	}
-	g.w = w
+	g.w, g.health = w, mon
+	return nil
+}
+
+// appendPrefixed appends a u32 length header and the blob.
+func appendPrefixed(out, blob []byte) []byte {
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(len(blob)))
+	return append(append(out, b4[:]...), blob...)
+}
+
+// takePrefixed consumes a u32 length-prefixed blob from p.
+func takePrefixed(p []byte, what string) (blob, rest []byte, err error) {
+	if len(p) < 4 {
+		return nil, nil, fmt.Errorf("hybridprng: %s length truncated", what)
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if n > len(p) {
+		return nil, nil, fmt.Errorf("hybridprng: %s truncated (%d of %d bytes)", what, len(p), n)
+	}
+	return p[:n], p[n:], nil
+}
+
+// MarshalBinary checkpoints every worker of the pool: the container
+// is the magic, a version, the worker count and one length-prefixed
+// per-walker state per worker. Not safe to call while other
+// goroutines draw from the workers.
+func (p *Parallel) MarshalBinary() ([]byte, error) {
+	out := append([]byte(parMagic), parVersion)
+	var b4 [4]byte
+	binary.LittleEndian.PutUint32(b4[:], uint32(p.pool.Size()))
+	out = append(out, b4[:]...)
+	for i := 0; i < p.pool.Size(); i++ {
+		blob, err := marshalWalker(p.pool.Walker(i))
+		if err != nil {
+			return nil, fmt.Errorf("hybridprng: worker %d: %w", i, err)
+		}
+		out = appendPrefixed(out, blob)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary restores a Parallel written by MarshalBinary,
+// replacing p's state entirely; every worker resumes its exact
+// stream, monitors included.
+func (p *Parallel) UnmarshalBinary(data []byte) error {
+	if len(data) < len(parMagic)+1+4 {
+		return fmt.Errorf("hybridprng: parallel state too short (%d bytes)", len(data))
+	}
+	if string(data[:len(parMagic)]) != parMagic {
+		return fmt.Errorf("hybridprng: bad parallel state magic")
+	}
+	rest := data[len(parMagic):]
+	if rest[0] != parVersion {
+		return fmt.Errorf("hybridprng: unsupported parallel state version %d", rest[0])
+	}
+	workers := int(binary.LittleEndian.Uint32(rest[1:]))
+	rest = rest[5:]
+	if workers < 1 || workers > maxShards {
+		return fmt.Errorf("hybridprng: worker count %d outside [1, %d]", workers, maxShards)
+	}
+	walkers := make([]*core.Walker, workers)
+	monitors := make([]*bitsource.Monitor, workers)
+	for i := range walkers {
+		blob, r, err := takePrefixed(rest, fmt.Sprintf("worker %d state", i))
+		if err != nil {
+			return err
+		}
+		rest = r
+		if walkers[i], monitors[i], err = unmarshalWalker(blob); err != nil {
+			return fmt.Errorf("hybridprng: worker %d: %w", i, err)
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("hybridprng: %d trailing bytes after parallel state", len(rest))
+	}
+	pool, err := core.PoolFromWalkers(walkers)
+	if err != nil {
+		return err
+	}
+	p.pool, p.monitors = pool, monitors
+	return nil
+}
+
+// MarshalBinary checkpoints the pool: shard geometry, the ticket
+// counter, and per shard the walker (with monitor), the unread ring
+// residue, the serving counters and the tripped status. Each shard
+// is captured under its lock, so a snapshot taken while other
+// goroutines draw is consistent per shard (every draw lands entirely
+// before or entirely after it); for an exact global resume point,
+// quiesce traffic first — cmd/randd drains its HTTP server before
+// the shutdown snapshot. A tripped shard's residue is written empty:
+// SP 800-90B forbids serving words buffered before a failure.
+func (p *Pool) MarshalBinary() ([]byte, error) {
+	out := append([]byte(poolMagic), poolVersion)
+	var b8 [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b8[:4], v)
+		out = append(out, b8[:4]...)
+	}
+	put32(uint32(len(p.shards)))
+	put32(uint32(len(p.shards[0].buf)))
+	binary.LittleEndian.PutUint64(b8[:], p.tickets.Load())
+	out = append(out, b8[:]...)
+	for i, s := range p.shards {
+		blob, err := s.marshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("hybridprng: shard %d: %w", i, err)
+		}
+		out = appendPrefixed(out, blob)
+	}
+	return out, nil
+}
+
+// marshalBinary captures one shard under its lock.
+func (s *poolShard) marshalBinary() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wBlob, err := marshalWalker(s.w)
+	if err != nil {
+		return nil, err
+	}
+	var out []byte
+	out = appendPrefixed(out, wBlob)
+	var b8 [8]byte
+	residue := s.buf[s.idx:]
+	if s.tripped.Load() {
+		residue = nil
+	}
+	binary.LittleEndian.PutUint32(b8[:4], uint32(len(residue)))
+	out = append(out, b8[:4]...)
+	for _, v := range residue {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		out = append(out, b8[:]...)
+	}
+	binary.LittleEndian.PutUint64(b8[:], s.draws.Load())
+	out = append(out, b8[:]...)
+	binary.LittleEndian.PutUint64(b8[:], s.refills.Load())
+	out = append(out, b8[:]...)
+	if err := s.healthErr(); err != nil {
+		he := s.err
+		out = append(out, 1)
+		for _, str := range []string{he.Test, he.Detail} {
+			if len(str) > 0xFFFF {
+				return nil, fmt.Errorf("hybridprng: shard failure detail too long")
+			}
+			binary.LittleEndian.PutUint16(b8[:2], uint16(len(str)))
+			out = append(out, b8[:2]...)
+			out = append(out, str...)
+		}
+	} else {
+		out = append(out, 0)
+	}
+	return out, nil
+}
+
+// unmarshalShard rebuilds one shard; bufWords is the ring capacity
+// from the container header.
+func unmarshalShard(blob []byte, bufWords int) (*poolShard, error) {
+	wBlob, rest, err := takePrefixed(blob, "shard walker state")
+	if err != nil {
+		return nil, err
+	}
+	w, mon, err := unmarshalWalker(wBlob)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("hybridprng: shard residue length truncated")
+	}
+	nRes := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if nRes > bufWords {
+		return nil, fmt.Errorf("hybridprng: ring residue %d exceeds buffer %d", nRes, bufWords)
+	}
+	if len(rest) < 8*nRes+8+8+1 {
+		return nil, fmt.Errorf("hybridprng: shard state truncated")
+	}
+	buf := make([]uint64, bufWords)
+	idx := bufWords - nRes
+	for i := 0; i < nRes; i++ {
+		buf[idx+i] = binary.LittleEndian.Uint64(rest[8*i:])
+	}
+	rest = rest[8*nRes:]
+	s := &poolShard{w: w, mon: mon, buf: buf, idx: idx}
+	s.draws.Store(binary.LittleEndian.Uint64(rest))
+	s.refills.Store(binary.LittleEndian.Uint64(rest[8:]))
+	tripped := rest[16] != 0
+	rest = rest[17:]
+	if tripped {
+		var strs [2]string
+		for i := range strs {
+			if len(rest) < 2 {
+				return nil, fmt.Errorf("hybridprng: shard failure detail truncated")
+			}
+			n := int(binary.LittleEndian.Uint16(rest))
+			rest = rest[2:]
+			if len(rest) < n {
+				return nil, fmt.Errorf("hybridprng: shard failure detail truncated")
+			}
+			strs[i] = string(rest[:n])
+			rest = rest[n:]
+		}
+		s.trip(&bitsource.HealthError{Test: strs[0], Detail: strs[1]})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("hybridprng: %d trailing bytes after shard state", len(rest))
+	}
+	return s, nil
+}
+
+// UnmarshalBinary restores a Pool written by MarshalBinary,
+// replacing p's state entirely. Restored tripped shards stay
+// retired — a restart must not resurrect a feed that failed its
+// health tests.
+func (p *Pool) UnmarshalBinary(data []byte) error {
+	if len(data) < len(poolMagic)+1+4+4+8 {
+		return fmt.Errorf("hybridprng: pool state too short (%d bytes)", len(data))
+	}
+	if string(data[:len(poolMagic)]) != poolMagic {
+		return fmt.Errorf("hybridprng: bad pool state magic")
+	}
+	rest := data[len(poolMagic):]
+	if rest[0] != poolVersion {
+		return fmt.Errorf("hybridprng: unsupported pool state version %d", rest[0])
+	}
+	shards := int(binary.LittleEndian.Uint32(rest[1:]))
+	bufWords := int(binary.LittleEndian.Uint32(rest[5:]))
+	tickets := binary.LittleEndian.Uint64(rest[9:])
+	rest = rest[17:]
+	if shards < 1 || shards > maxShards || shards&(shards-1) != 0 {
+		return fmt.Errorf("hybridprng: shard count %d is not a power of two in [1, %d]", shards, maxShards)
+	}
+	if bufWords < 1 || bufWords > maxShardBuffer {
+		return fmt.Errorf("hybridprng: shard buffer %d outside [1, %d]", bufWords, maxShardBuffer)
+	}
+	restored := &Pool{shards: make([]*poolShard, shards), mask: uint64(shards - 1)}
+	restored.tickets.Store(tickets)
+	for i := range restored.shards {
+		blob, r, err := takePrefixed(rest, fmt.Sprintf("shard %d state", i))
+		if err != nil {
+			return err
+		}
+		rest = r
+		if restored.shards[i], err = unmarshalShard(blob, bufWords); err != nil {
+			return fmt.Errorf("hybridprng: shard %d: %w", i, err)
+		}
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("hybridprng: %d trailing bytes after pool state", len(rest))
+	}
+	p.shards, p.mask = restored.shards, restored.mask
+	p.tickets.Store(tickets)
 	return nil
 }
