@@ -11,7 +11,7 @@
 //
 // With -state, randd is exactly resumable: it checkpoints the whole
 // pool (every shard's walker, feed, health monitor, ring residue and
-// tripped status) to the given file on shutdown and on demand, and
+// recovery state) to the given file on shutdown and on demand, and
 // restores from it on boot, continuing every stream bit-for-bit:
 //
 //	randd -addr :8080 -seeded -seed 42 -state /var/lib/randd/state
@@ -19,11 +19,19 @@
 //	kill -TERM $(pidof randd)               # drain, snapshot, exit
 //	randd -addr :8080 -state /var/lib/randd/state   # resume exactly
 //
-// On SIGTERM/SIGINT the server first drains in-flight requests, then
-// writes the snapshot, so the state file always sits at a request
-// boundary. When the state file exists at boot the generator flags
-// (-shards, -buffer, -feed, -seed, -walk, -hmin) are ignored — the
-// snapshot already pins all of them.
+// On SIGTERM/SIGINT the server first drains in-flight requests (for
+// up to -drain-timeout), then writes the snapshot, so the state file
+// always sits at a request boundary. A failed shutdown snapshot is a
+// data-loss event for a resumable deployment, so it is logged loudly
+// and randd exits non-zero. When the state file exists at boot the
+// generator flags (-shards, -buffer, -feed, -seed, -walk, -hmin) are
+// ignored — the snapshot already pins all of them.
+//
+// The -chaos flag wraps every shard's feed in a deterministic fault
+// injector (internal/chaos) for recovery drills: shards trip,
+// quarantine, reseed and recover while the daemon keeps serving.
+// Chaos runs are a development tool and refuse to combine with
+// -state — fault schedules do not belong in production snapshots.
 package main
 
 import (
@@ -39,28 +47,57 @@ import (
 	"time"
 
 	hybridprng "repro"
+	"repro/internal/chaos"
 	"repro/internal/server"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		shards   = flag.Int("shards", 0, "shard count, rounded up to a power of two (0 = next power of two ≥ GOMAXPROCS)")
-		buffer   = flag.Int("buffer", 0, "per-shard ring buffer in words (0 = default)")
-		feed     = flag.String("feed", hybridprng.FeedGlibc, "feed generator: glibc, ansic or splitmix")
-		seed     = flag.Uint64("seed", 0, "fixed feed seed (only with -seeded; default: OS entropy)")
-		seeded   = flag.Bool("seeded", false, "use -seed instead of OS entropy (reproducible streams)")
-		walk     = flag.Int("walk", 0, "expander steps per number (0 = the paper's 64)")
-		hmin     = flag.Float64("hmin", 4, "claimed feed min-entropy bits/byte for SP 800-90B health monitoring; 0 disables")
-		maxWords = flag.Uint64("max-request", 0, "per-request cap for /u64 and /bytes in words (0 = default)")
-		state    = flag.String("state", "", "checkpoint file: restored on boot when present, written on shutdown and by POST /snapshot (empty disables)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		shards     = flag.Int("shards", 0, "shard count, rounded up to a power of two (0 = next power of two ≥ GOMAXPROCS)")
+		buffer     = flag.Int("buffer", 0, "per-shard ring buffer in words (0 = default)")
+		feed       = flag.String("feed", hybridprng.FeedGlibc, "feed generator: glibc, ansic or splitmix")
+		seed       = flag.Uint64("seed", 0, "fixed feed seed (only with -seeded; default: OS entropy)")
+		seeded     = flag.Bool("seeded", false, "use -seed instead of OS entropy (reproducible streams)")
+		walk       = flag.Int("walk", 0, "expander steps per number (0 = the paper's 64)")
+		hmin       = flag.Float64("hmin", 4, "claimed feed min-entropy bits/byte for SP 800-90B health monitoring; 0 disables")
+		maxWords   = flag.Uint64("max-request", 0, "per-request cap for /u64 and /bytes in words (0 = default)")
+		inFlight   = flag.Int("max-inflight", 0, "concurrent draw requests before shedding with 429 (0 = default, negative disables)")
+		reqTimeout = flag.Duration("request-timeout", 0, "per-request deadline for /u64 and /bytes (0 = default, negative disables)")
+		drain      = flag.Duration("drain-timeout", 5*time.Second, "how long shutdown waits for in-flight requests before snapshotting")
+		state      = flag.String("state", "", "checkpoint file: restored on boot when present, written on shutdown and by POST /snapshot (empty disables)")
+		chaosSeed  = flag.Uint64("chaos", 0, "enable the deterministic fault injector with this schedule seed (dev only; incompatible with -state)")
+		chaosKinds = flag.String("chaos-kinds", "all", "comma-separated chaos fault kinds: stuck, bias, burst, stall (with -chaos)")
 	)
 	flag.Parse()
 
-	pool, restored := buildPool(*state, *shards, *buffer, *feed, *seed, *seeded, *walk, *hmin)
-	srv, err := server.New(pool, server.Options{MaxWords: *maxWords, StatePath: *state})
+	if *chaosSeed != 0 && *state != "" {
+		log.Print("randd: -chaos and -state are incompatible: fault schedules are not checkpointable and must never land in a production snapshot")
+		return 2
+	}
+
+	pool, restored, err := buildPool(poolFlags{
+		state: *state, shards: *shards, buffer: *buffer, feed: *feed,
+		seed: *seed, seeded: *seeded, walk: *walk, hmin: *hmin,
+		chaosSeed: *chaosSeed, chaosKinds: *chaosKinds,
+	})
 	if err != nil {
-		log.Fatalf("randd: %v", err)
+		log.Printf("randd: %v", err)
+		return 1
+	}
+	srv, err := server.New(pool, server.Options{
+		MaxWords:       *maxWords,
+		StatePath:      *state,
+		MaxInFlight:    *inFlight,
+		RequestTimeout: *reqTimeout,
+	})
+	if err != nil {
+		log.Printf("randd: %v", err)
+		return 1
 	}
 	expvar.Publish("randd", srv.MetricsVar())
 
@@ -69,24 +106,34 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+	httpErr := make(chan error, 1)
 	go func() {
-		if restored {
+		switch {
+		case restored:
 			log.Printf("randd: serving %d shards on %s (resumed from %s)",
 				pool.Shards(), *addr, *state)
-		} else {
+		case *chaosSeed != 0:
+			log.Printf("randd: serving %d shards on %s (feed %s, health hMin %g, CHAOS seed %d kinds %s)",
+				pool.Shards(), *addr, *feed, *hmin, *chaosSeed, *chaosKinds)
+		default:
 			log.Printf("randd: serving %d shards on %s (feed %s, health hMin %g)",
 				pool.Shards(), *addr, *feed, *hmin)
 		}
 		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("randd: %v", err)
+			httpErr <- err
 		}
 	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
+	select {
+	case err := <-httpErr:
+		log.Printf("randd: %v", err)
+		return 1
+	case <-sig:
+	}
 	fmt.Fprintln(os.Stderr, "randd: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Drain first, snapshot second: once Shutdown returns no request
 	// is mid-flight, so the checkpoint lands exactly at a request
@@ -98,51 +145,78 @@ func main() {
 	if *state != "" {
 		n, err := srv.Snapshot()
 		if err != nil {
-			log.Printf("randd: final snapshot: %v", err)
-		} else {
-			log.Printf("randd: final snapshot: %d bytes to %s", n, *state)
+			// A lost shutdown snapshot means the next boot replays from
+			// the previous checkpoint (or starts fresh): the operator
+			// must know, and supervisors must see a failed exit.
+			log.Printf("randd: FINAL SNAPSHOT FAILED, state at %s is stale or missing: %v", *state, err)
+			return 1
 		}
+		log.Printf("randd: final snapshot: %d bytes to %s", n, *state)
 	}
+	return 0
+}
+
+type poolFlags struct {
+	state      string
+	shards     int
+	buffer     int
+	feed       string
+	seed       uint64
+	seeded     bool
+	walk       int
+	hmin       float64
+	chaosSeed  uint64
+	chaosKinds string
 }
 
 // buildPool restores the pool from the state file when it exists,
 // otherwise constructs a fresh one from the generator flags.
-func buildPool(state string, shards, buffer int, feed string, seed uint64, seeded bool, walk int, hmin float64) (*hybridprng.Pool, bool) {
-	if state != "" {
-		blob, err := os.ReadFile(state)
+func buildPool(f poolFlags) (*hybridprng.Pool, bool, error) {
+	if f.state != "" {
+		blob, err := os.ReadFile(f.state)
 		switch {
 		case err == nil:
 			pool := new(hybridprng.Pool)
 			if err := pool.UnmarshalBinary(blob); err != nil {
-				log.Fatalf("randd: restore %s: %v", state, err)
+				return nil, false, fmt.Errorf("restore %s: %w", f.state, err)
 			}
-			log.Printf("randd: restored %d shards from %s (%d bytes); generator flags ignored", pool.Shards(), state, len(blob))
-			return pool, true
+			log.Printf("randd: restored %d shards from %s (%d bytes); generator flags ignored", pool.Shards(), f.state, len(blob))
+			return pool, true, nil
 		case os.IsNotExist(err):
-			log.Printf("randd: no state file at %s, starting fresh", state)
+			log.Printf("randd: no state file at %s, starting fresh", f.state)
 		default:
-			log.Fatalf("randd: read %s: %v", state, err)
+			return nil, false, fmt.Errorf("read %s: %w", f.state, err)
 		}
 	}
-	opts := []hybridprng.Option{hybridprng.WithFeed(feed)}
-	if shards > 0 {
-		opts = append(opts, hybridprng.WithShards(shards))
+	opts := []hybridprng.Option{hybridprng.WithFeed(f.feed)}
+	if f.shards > 0 {
+		opts = append(opts, hybridprng.WithShards(f.shards))
 	}
-	if buffer > 0 {
-		opts = append(opts, hybridprng.WithShardBuffer(buffer))
+	if f.buffer > 0 {
+		opts = append(opts, hybridprng.WithShardBuffer(f.buffer))
 	}
-	if seeded {
-		opts = append(opts, hybridprng.WithSeed(seed))
+	if f.seeded {
+		opts = append(opts, hybridprng.WithSeed(f.seed))
 	}
-	if walk > 0 {
-		opts = append(opts, hybridprng.WithWalkLength(walk))
+	if f.walk > 0 {
+		opts = append(opts, hybridprng.WithWalkLength(f.walk))
 	}
-	if hmin > 0 {
-		opts = append(opts, hybridprng.WithHealthMonitoring(hmin))
+	if f.hmin > 0 {
+		opts = append(opts, hybridprng.WithHealthMonitoring(f.hmin))
+	}
+	if f.chaosSeed != 0 {
+		kinds, err := chaos.ParseKinds(f.chaosKinds)
+		if err != nil {
+			return nil, false, err
+		}
+		opts = append(opts, hybridprng.WithFeedWrapper(chaos.Wrapper(chaos.Config{
+			Seed:  f.chaosSeed,
+			Kinds: kinds,
+		})))
 	}
 	pool, err := hybridprng.NewPool(opts...)
 	if err != nil {
-		log.Fatalf("randd: %v", err)
+		return nil, false, err
 	}
-	return pool, false
+	return pool, false, nil
 }

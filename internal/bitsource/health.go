@@ -214,6 +214,22 @@ func (m *Monitor) APTCutoff() int { return m.aptBound }
 // test state.
 func (m *Monitor) Source() rng.Source { return m.src }
 
+// Rearm returns a fresh monitor over src with the same calibration
+// (cutoffs and window) as m but clean test counters and no trip
+// state — the monitor a recovered shard puts in front of its reseeded
+// feed. The receiver is left untouched.
+func (m *Monitor) Rearm(src rng.Source) (*Monitor, error) {
+	if src == nil {
+		return nil, fmt.Errorf("bitsource: nil source")
+	}
+	return &Monitor{
+		src:       src,
+		rctBound:  m.rctBound,
+		aptWindow: m.aptWindow,
+		aptBound:  m.aptBound,
+	}, nil
+}
+
 // Monitor state serialisation. A checkpointed generator must restore
 // its health tests exactly: the calibration (cutoffs, window), the
 // in-flight test counters, and — crucially — the trip state, so a

@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baselines"
+	"repro/internal/bitsource"
+	"repro/internal/rng"
+)
+
+// TestChaosDeterministic pins the core property: equal configs over
+// equal feeds corrupt identical offsets identically.
+func TestChaosDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, MeanPeriod: 100, MeanLen: 8, Sleep: func(time.Duration) {}}
+	a := New(cfg, baselines.NewSplitMix64(7))
+	b := New(cfg, baselines.NewSplitMix64(7))
+	for i := 0; i < 10000; i++ {
+		if va, vb := a.Uint64(), b.Uint64(); va != vb {
+			t.Fatalf("word %d diverged: %#x vs %#x", i, va, vb)
+		}
+	}
+}
+
+// TestChaosCorruptsOnSchedule checks faults actually fire: a chaos
+// stream over a fixed feed must differ from the clean stream, and
+// only inside scheduled fault windows.
+func TestChaosCorruptsOnSchedule(t *testing.T) {
+	cfg := Config{Seed: 1, MeanPeriod: 50, MeanLen: 4, Kinds: []Kind{Stuck}}
+	s := New(cfg, baselines.NewSplitMix64(7))
+	clean := baselines.NewSplitMix64(7)
+	corrupted := 0
+	for i := 0; i < 5000; i++ {
+		v, want := s.Uint64(), clean.Uint64()
+		if v != want {
+			if v != ^uint64(0) {
+				t.Fatalf("word %d: stuck fault produced %#x, want all-ones", i, v)
+			}
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no faults fired in 5000 words with MeanPeriod=50")
+	}
+}
+
+// TestChaosStuckTripsRCT runs a chaos feed under the SP 800-90B
+// monitor and requires the stuck-bits fault to trip the repetition
+// count test through the real detection path.
+func TestChaosStuckTripsRCT(t *testing.T) {
+	cfg := Config{Seed: 3, MeanPeriod: 64, MeanLen: 64, Kinds: []Kind{Stuck}}
+	mon, err := bitsource.NewMonitor(New(cfg, baselines.NewSplitMix64(9)), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1<<16 && !mon.Tripped(); i++ {
+		mon.Uint64()
+	}
+	if !mon.Tripped() {
+		t.Fatal("monitor never tripped on a stuck-bits chaos feed")
+	}
+	he, ok := mon.Err().(*bitsource.HealthError)
+	if !ok {
+		t.Fatalf("trip error is %T, want *bitsource.HealthError", mon.Err())
+	}
+	if he.Test != "RCT" {
+		t.Logf("tripped %s (stuck feeds usually fail RCT first)", he.Test)
+	}
+}
+
+// TestChaosBiasTripsMonitor: the ones-density ramp must eventually
+// fail a health test (APT, or RCT if the mask saturates).
+func TestChaosBiasTripsMonitor(t *testing.T) {
+	cfg := Config{Seed: 5, MeanPeriod: 32, MeanLen: 512, Kinds: []Kind{Bias}}
+	mon, err := bitsource.NewMonitor(New(cfg, baselines.NewSplitMix64(11)), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1<<18 && !mon.Tripped(); i++ {
+		mon.Uint64()
+	}
+	if !mon.Tripped() {
+		t.Fatal("monitor never tripped on a bias-ramp chaos feed")
+	}
+}
+
+// TestChaosStallCallsSleep verifies Stall faults pause without
+// corrupting data.
+func TestChaosStallCallsSleep(t *testing.T) {
+	var slept int
+	cfg := Config{
+		Seed: 8, MeanPeriod: 50, MeanLen: 4, Kinds: []Kind{Stall},
+		StallDur: 5 * time.Millisecond,
+		Sleep: func(d time.Duration) {
+			if d != 5*time.Millisecond {
+				t.Fatalf("stall slept %v, want 5ms", d)
+			}
+			slept++
+		},
+	}
+	s := New(cfg, baselines.NewSplitMix64(13))
+	clean := baselines.NewSplitMix64(13)
+	for i := 0; i < 5000; i++ {
+		if v, want := s.Uint64(), clean.Uint64(); v != want {
+			t.Fatalf("stall fault corrupted word %d", i)
+		}
+	}
+	if slept == 0 {
+		t.Fatal("no stall fired in 5000 words with MeanPeriod=50")
+	}
+}
+
+// TestChaosUnwrap: the reseed path depends on peeling the chaos
+// layer back to the typed feed.
+func TestChaosUnwrap(t *testing.T) {
+	feed := baselines.NewSplitMix64(1)
+	s := New(Config{Seed: 1}, feed)
+	var src rng.Source = s
+	if u, ok := src.(interface{ Unwrap() rng.Source }); !ok || u.Unwrap() != rng.Source(feed) {
+		t.Fatal("Unwrap did not return the wrapped feed")
+	}
+}
+
+// TestChaosWrapperPerWorkerSchedules: distinct workers must get
+// distinct schedules from one config.
+func TestChaosWrapperPerWorkerSchedules(t *testing.T) {
+	wrap := Wrapper(Config{Seed: 99, MeanPeriod: 50, MeanLen: 4, Kinds: []Kind{Stuck}})
+	a := wrap(0, baselines.NewSplitMix64(7))
+	b := wrap(1, baselines.NewSplitMix64(7))
+	same := true
+	for i := 0; i < 5000; i++ {
+		if a.Uint64() != b.Uint64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("workers 0 and 1 got identical fault schedules")
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	ks, err := ParseKinds("stuck, stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 2 || ks[0] != Stuck || ks[1] != Stall {
+		t.Fatalf("ParseKinds = %v", ks)
+	}
+	if ks, err = ParseKinds("all"); err != nil || len(ks) != 4 {
+		t.Fatalf("ParseKinds(all) = %v, %v", ks, err)
+	}
+	if _, err = ParseKinds("gamma-rays"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

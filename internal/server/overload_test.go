@@ -1,0 +1,169 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	hybridprng "repro"
+)
+
+func newOverloadServer(t testing.TB, opts Options) (*hybridprng.Pool, *Server, *httptest.Server) {
+	t.Helper()
+	pool, err := hybridprng.NewPool(
+		hybridprng.WithSeed(1),
+		hybridprng.WithShards(4),
+		hybridprng.WithHealthMonitoring(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pool, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return pool, srv, ts
+}
+
+// TestPanicRecoveryMiddleware: a handler panic becomes a 500 and a
+// counter, not a dead daemon.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	_, srv, _ := newOverloadServer(t, Options{})
+	h := srv.protect(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/u64", nil))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler: status %d, want 500", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "handler bug") {
+		t.Errorf("500 body: %q", rec.Body.String())
+	}
+	if srv.panics.Value() != 1 {
+		t.Errorf("panics counter = %d, want 1", srv.panics.Value())
+	}
+	// The chain keeps serving after the panic.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/u64?n=4", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request after recovered panic: status %d", rec.Code)
+	}
+}
+
+// TestLoadSheddingReturns429 fills the in-flight budget and requires
+// the next draw to shed with 429 + Retry-After while /healthz and
+// /metrics stay reachable.
+func TestLoadSheddingReturns429(t *testing.T) {
+	_, srv, ts := newOverloadServer(t, Options{MaxInFlight: 2})
+	// Occupy the whole budget (the counter is what the limiter reads;
+	// parking real slow requests would make the test racy).
+	srv.inFlight.Add(2)
+	defer srv.inFlight.Add(-2)
+
+	for _, path := range []string{"/u64?n=4", "/bytes?n=32", "/stream?words=4"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("%s at capacity: status %d, want 429", path, resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Errorf("%s: 429 without Retry-After", path)
+		}
+	}
+	if srv.sheds.Value() != 3 {
+		t.Errorf("sheds counter = %d, want 3", srv.sheds.Value())
+	}
+	// Probe and admin endpoints bypass the limiter.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		if code, body := get(t, ts.URL+path); code != http.StatusOK {
+			t.Errorf("%s during shed: status %d: %s", path, code, body)
+		}
+	}
+	// Budget released: draws work again.
+	srv.inFlight.Add(-2)
+	defer srv.inFlight.Add(2)
+	if code, body := get(t, ts.URL+"/u64?n=4"); code != http.StatusOK {
+		t.Fatalf("after release: status %d: %s", code, body)
+	}
+}
+
+// TestRequestDeadline: an expired per-request deadline turns into a
+// clean 503 (nothing written yet) and a timeout counter, instead of
+// a request that holds its connection forever.
+func TestRequestDeadline(t *testing.T) {
+	_, srv, ts := newOverloadServer(t, Options{RequestTimeout: time.Nanosecond})
+	for _, path := range []string{"/u64?n=100000", "/bytes?n=100000"} {
+		code, body := get(t, ts.URL+path)
+		if code != http.StatusServiceUnavailable {
+			t.Fatalf("%s with expired deadline: status %d: %s", path, code, body)
+		}
+		if !strings.Contains(string(body), "deadline") {
+			t.Errorf("%s body: %q", path, body)
+		}
+	}
+	if srv.timeouts.Value() != 2 {
+		t.Errorf("timeouts counter = %d, want 2", srv.timeouts.Value())
+	}
+	// /stream is exempt from deadlines by design.
+	if code, _ := get(t, ts.URL+"/stream?words=16"); code != http.StatusOK {
+		t.Errorf("/stream must not carry the request deadline: status %d", code)
+	}
+}
+
+// TestChaosServerShedsWhenAllShardsFault is the acceptance check:
+// with every shard faulted the server answers fast 503s on draws,
+// sheds overload with 429, keeps /healthz honest and never crashes
+// or hangs.
+func TestChaosServerShedsWhenAllShardsFault(t *testing.T) {
+	pool, srv, ts := newOverloadServer(t, Options{MaxInFlight: 1})
+	for i := 0; i < pool.Shards(); i++ {
+		if err := pool.InjectFault(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Draws against the dead pool: fast 503, no hang.
+		if code, _ := get(t, ts.URL+"/u64?n=100"); code != http.StatusServiceUnavailable {
+			t.Errorf("/u64 on dead pool: status %d, want 503", code)
+		}
+		if code, _ := get(t, ts.URL+"/bytes?n=100"); code != http.StatusServiceUnavailable {
+			t.Errorf("/bytes on dead pool: status %d, want 503", code)
+		}
+		// Past the in-flight budget: shed with 429 before touching the
+		// pool at all.
+		srv.inFlight.Add(1)
+		resp, err := http.Get(ts.URL + "/u64?n=100")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+		srv.inFlight.Add(-1)
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Errorf("overloaded dead pool: status %d, want 429", resp.StatusCode)
+		}
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+		// Health probe tells the truth.
+		code, body := get(t, ts.URL+"/healthz")
+		if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "unhealthy") {
+			t.Errorf("healthz on dead pool: %d %q", code, body)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server hung under all-shard faults")
+	}
+}

@@ -7,16 +7,34 @@
 //	GET  /bytes?n=N  N random octets, application/octet-stream
 //	GET  /stream     endless little-endian uint64 stream until the
 //	                 client hangs up (or ?words=N words)
-//	GET  /healthz    200 while every shard's SP 800-90B monitor is
-//	                 clean; 503 with the failure once any shard trips
+//	GET  /healthz    200 "ok" while every shard is healthy; 200
+//	                 "degraded" while some shards are recovering but
+//	                 the pool still serves; 503 "unhealthy" when no
+//	                 shard is serving
 //	GET  /metrics    JSON metrics via expvar (draws, refills, shard
 //	                 occupancy, health trips, request counters,
-//	                 snapshot count/age)
+//	                 snapshot count/age, panics, sheds, timeouts)
 //	POST /snapshot   checkpoint the pool to the configured state
 //	                 file (write-temp-then-rename); JSON receipt
 //
 // All draw endpoints pull through the pool's batched Fill path, so
 // one HTTP request amortises shard locks over thousands of words.
+//
+// # Overload protection
+//
+// Every handler runs behind a middleware chain. Panic recovery turns
+// a handler panic into a 500 and a counter instead of a dead daemon.
+// The draw endpoints (/u64, /bytes, /stream) sit behind a bounded
+// in-flight limit: past Options.MaxInFlight concurrent draws the
+// server sheds immediately with 429 and a Retry-After header rather
+// than queueing without bound — a randomness service under overload
+// should fail fast so the load balancer retries elsewhere. The
+// probe and admin endpoints bypass the limiter: an overloaded server
+// must still answer /healthz. /u64 and /bytes additionally carry a
+// per-request deadline (Options.RequestTimeout); a request that
+// cannot finish in time is truncated (or 503'd when nothing has been
+// written) instead of holding its connection indefinitely. /stream
+// is exempt — it is unbounded by design.
 //
 // # Exact resume
 //
@@ -34,6 +52,7 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"expvar"
@@ -54,6 +73,14 @@ import (
 // clients wanting more use /stream.
 const DefaultMaxWords = 1 << 24
 
+// DefaultMaxInFlight bounds concurrent draw requests before the
+// server sheds with 429.
+const DefaultMaxInFlight = 256
+
+// DefaultRequestTimeout is the per-request deadline on /u64 and
+// /bytes: generous against the word cap, but finite.
+const DefaultRequestTimeout = 30 * time.Second
+
 // chunkWords is the scratch-buffer size the handlers fill per
 // iteration: big enough to amortise pool and syscall overhead, small
 // enough to stay cache-resident.
@@ -62,15 +89,21 @@ const chunkWords = 8192
 // Server serves a Pool over HTTP. Create with New; the zero value is
 // not usable.
 type Server struct {
-	pool      *hybridprng.Pool
-	maxWords  uint64
-	statePath string
-	mux       *http.ServeMux
+	pool        *hybridprng.Pool
+	maxWords    uint64
+	statePath   string
+	mux         *http.ServeMux
+	maxInFlight int64
+	reqTimeout  time.Duration
+	inFlight    atomic.Int64
 
 	metrics  *expvar.Map
 	requests *expvar.Int
 	reqErrs  *expvar.Int
 	words    *expvar.Int
+	panics   *expvar.Int
+	sheds    *expvar.Int
+	timeouts *expvar.Int
 
 	// Snapshot bookkeeping: snapMu serialises writers (a concurrent
 	// POST /snapshot and a shutdown snapshot must not interleave the
@@ -89,6 +122,13 @@ type Options struct {
 	// /snapshot (and the Snapshot method) atomically write the
 	// pool's state there. Empty disables the endpoint.
 	StatePath string
+	// MaxInFlight bounds concurrent draw requests; excess requests
+	// are shed with 429 + Retry-After. 0 means DefaultMaxInFlight;
+	// negative disables shedding.
+	MaxInFlight int
+	// RequestTimeout is the per-request deadline on /u64 and /bytes.
+	// 0 means DefaultRequestTimeout; negative disables deadlines.
+	RequestTimeout time.Duration
 }
 
 // New builds a Server over pool.
@@ -100,14 +140,27 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	if maxWords == 0 {
 		maxWords = DefaultMaxWords
 	}
+	maxInFlight := int64(opts.MaxInFlight)
+	if maxInFlight == 0 {
+		maxInFlight = DefaultMaxInFlight
+	}
+	reqTimeout := opts.RequestTimeout
+	if reqTimeout == 0 {
+		reqTimeout = DefaultRequestTimeout
+	}
 	s := &Server{
-		pool:      pool,
-		maxWords:  maxWords,
-		statePath: opts.StatePath,
-		requests:  new(expvar.Int),
-		reqErrs:   new(expvar.Int),
-		words:     new(expvar.Int),
-		snapshots: new(expvar.Int),
+		pool:        pool,
+		maxWords:    maxWords,
+		statePath:   opts.StatePath,
+		maxInFlight: maxInFlight,
+		reqTimeout:  reqTimeout,
+		requests:    new(expvar.Int),
+		reqErrs:     new(expvar.Int),
+		words:       new(expvar.Int),
+		panics:      new(expvar.Int),
+		sheds:       new(expvar.Int),
+		timeouts:    new(expvar.Int),
+		snapshots:   new(expvar.Int),
 	}
 	// The metrics map is built per-Server (not expvar.Publish'd,
 	// which panics on duplicate names across test servers); cmd/randd
@@ -117,6 +170,10 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	m.Set("requests", s.requests)
 	m.Set("request_errors", s.reqErrs)
 	m.Set("words_served", s.words)
+	m.Set("panics_recovered", s.panics)
+	m.Set("requests_shed", s.sheds)
+	m.Set("request_timeouts", s.timeouts)
+	m.Set("in_flight", expvar.Func(func() any { return s.inFlight.Load() }))
 	m.Set("snapshots", s.snapshots)
 	m.Set("snapshot_age_seconds", expvar.Func(func() any {
 		last := s.lastSnapUnix.Load()
@@ -128,15 +185,89 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	m.Set("pool", expvar.Func(func() any { return pool.Stats() }))
 	s.metrics = m
 
+	// Draw endpoints carry the full chain; the probe and admin
+	// endpoints get panic recovery only — an overloaded server must
+	// still answer its health checks.
 	mux := http.NewServeMux()
-	mux.HandleFunc("/u64", s.serveU64)
-	mux.HandleFunc("/bytes", s.serveBytes)
-	mux.HandleFunc("/stream", s.serveStream)
-	mux.HandleFunc("/healthz", s.serveHealthz)
-	mux.HandleFunc("/metrics", s.serveMetrics)
-	mux.HandleFunc("/snapshot", s.serveSnapshot)
+	mux.Handle("/u64", s.protect(s.shed(s.deadline(http.HandlerFunc(s.serveU64)))))
+	mux.Handle("/bytes", s.protect(s.shed(s.deadline(http.HandlerFunc(s.serveBytes)))))
+	mux.Handle("/stream", s.protect(s.shed(http.HandlerFunc(s.serveStream))))
+	mux.Handle("/healthz", s.protect(http.HandlerFunc(s.serveHealthz)))
+	mux.Handle("/metrics", s.protect(http.HandlerFunc(s.serveMetrics)))
+	mux.Handle("/snapshot", s.protect(http.HandlerFunc(s.serveSnapshot)))
 	s.mux = mux
 	return s, nil
+}
+
+// protect converts a handler panic into a 500 response and a counter
+// instead of a torn-down connection (or, outside net/http's own
+// recovery, a dead process). The response is best-effort: when the
+// panic fires mid-body the client sees a truncated stream, which is
+// the only honest signal at that point.
+func (s *Server) protect(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Add(1)
+				s.reqErrs.Add(1)
+				http.Error(w, fmt.Sprintf("internal error: %v", v), http.StatusInternalServerError)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shed rejects draw requests beyond the in-flight bound with 429 and
+// a Retry-After hint. Failing fast beats queueing without bound: the
+// caller's load balancer can retry a sibling immediately, and the
+// requests already in flight keep their full share of the pool.
+func (s *Server) shed(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.maxInFlight > 0 {
+			if s.inFlight.Add(1) > s.maxInFlight {
+				s.inFlight.Add(-1)
+				s.sheds.Add(1)
+				s.requests.Add(1)
+				s.reqErrs.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "server at capacity", http.StatusTooManyRequests)
+				return
+			}
+			defer s.inFlight.Add(-1)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// deadline attaches the per-request timeout to the request context;
+// the bounded handlers check it between chunks.
+func (s *Server) deadline(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.reqTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// expired reports (and accounts for) a request whose deadline or
+// client connection lapsed mid-generation.
+func (s *Server) expired(w http.ResponseWriter, ctx context.Context, wrote bool) bool {
+	err := ctx.Err()
+	if err == nil {
+		return false
+	}
+	if err == context.DeadlineExceeded {
+		s.timeouts.Add(1)
+	}
+	if wrote {
+		s.reqErrs.Add(1) // truncated body: the only honest option mid-stream
+	} else {
+		s.fail(w, http.StatusServiceUnavailable, "request deadline exceeded")
+	}
+	return true
 }
 
 // Snapshot checkpoints the pool to the configured StatePath: the
@@ -245,11 +376,15 @@ func (s *Server) serveU64(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	ctx := r.Context()
 	var scratch [chunkWords]uint64
 	// One reusable text buffer: 20 digits + newline per word.
 	out := make([]byte, 0, chunkWords*21)
 	wrote := false
 	for n > 0 {
+		if s.expired(w, ctx, wrote) {
+			return
+		}
 		batch := n
 		if batch > chunkWords {
 			batch = chunkWords
@@ -292,10 +427,14 @@ func (s *Server) serveBytes(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatUint(n, 10))
+	ctx := r.Context()
 	var scratch [chunkWords]uint64
 	var raw [chunkWords * 8]byte
 	wrote := false
 	for n > 0 {
+		if s.expired(w, ctx, wrote) {
+			return
+		}
 		batch := n
 		if batch > uint64(len(raw)) {
 			batch = uint64(len(raw))
@@ -364,21 +503,28 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// serveHealthz reports 200 only while every shard's monitor is
-// clean. A single tripped shard flips the probe to 503 — the pool
-// may still be serving from its healthy shards, but a trip means a
-// feed failed its SP 800-90B tests and the instance wants replacing.
+// serveHealthz distinguishes three states. "ok" (200): every shard
+// healthy. "degraded" (200): some shards are quarantined, in
+// probation or retired but the pool still serves — the instance
+// stays in rotation while self-healing runs, and the body carries
+// the failure for operators. "unhealthy" (503): no shard is serving;
+// the load balancer should pull the instance until recovery
+// readmits a shard.
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	st := s.pool.Stats()
-	if err := s.pool.HealthErr(); err != nil {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintf(w, "unhealthy: %v (healthy shards %d/%d)\n", err, st.Healthy, st.Shards)
-		return
-	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok (healthy shards %d/%d)\n", st.Healthy, st.Shards)
+	detail := fmt.Sprintf("healthy %d/%d, quarantined %d, probation %d, retired %d, recoveries %d",
+		st.Healthy, st.Shards, st.Quarantined, st.Probation, st.Retired, st.Recoveries)
+	switch {
+	case st.Healthy == 0:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "unhealthy: %v (%s)\n", s.pool.HealthErr(), detail)
+	case st.Healthy < st.Shards:
+		fmt.Fprintf(w, "degraded: %v (%s)\n", s.pool.HealthErr(), detail)
+	default:
+		fmt.Fprintf(w, "ok (%s)\n", detail)
+	}
 }
 
 // serveMetrics emits the metrics map as JSON (expvar's wire format).

@@ -142,22 +142,34 @@ func TestHealthzFlipsOnFaultInjection(t *testing.T) {
 	if err := pool.InjectFault(1); err != nil {
 		t.Fatal(err)
 	}
+	// One quarantined shard: degraded but still in rotation (200),
+	// body names the failure for operators.
 	code, body = get(t, ts.URL+"/healthz")
-	if code != http.StatusServiceUnavailable {
-		t.Fatalf("tripped pool: status %d, want 503", code)
+	if code != http.StatusOK {
+		t.Fatalf("degraded pool: status %d, want 200: %s", code, body)
+	}
+	if !strings.Contains(string(body), "degraded") {
+		t.Errorf("degraded body: %q", body)
 	}
 	if !strings.Contains(string(body), "health test") && !strings.Contains(string(body), "forced") {
-		t.Errorf("503 body should name the failure: %q", body)
+		t.Errorf("degraded body should name the failure: %q", body)
 	}
 	// Draw endpoints keep working from the healthy shards.
 	if code, _ := get(t, ts.URL+"/u64?n=10"); code != http.StatusOK {
 		t.Errorf("degraded pool must still serve: status %d", code)
 	}
-	// Trip everything: draw endpoints now 503 too.
+	// Trip everything: probe flips to 503 and draw endpoints 503 too.
 	for i := 0; i < pool.Shards(); i++ {
 		if err := pool.InjectFault(i); err != nil {
 			t.Fatal(err)
 		}
+	}
+	code, body = get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("fully tripped pool: healthz status %d, want 503: %s", code, body)
+	}
+	if !strings.Contains(string(body), "unhealthy") {
+		t.Errorf("unhealthy body: %q", body)
 	}
 	if code, _ := get(t, ts.URL+"/u64?n=10"); code != http.StatusServiceUnavailable {
 		t.Errorf("fully tripped pool: /u64 status %d, want 503", code)

@@ -7,9 +7,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/baselines"
 	"repro/internal/bitsource"
 	"repro/internal/core"
+	"repro/internal/rng"
 )
 
 // Pool is the serving-layer generator: a sharded, contention-free
@@ -27,18 +30,38 @@ import (
 // batch at a time so the lock and the health check amortise over
 // ShardBuffer draws. Distinct shards never contend with each other.
 //
-// Backpressure: when a shard's feed monitor trips, the shard is
-// retired — its buffered words are discarded (SP 800-90B says output
-// after a failure must not be trusted) and subsequent draws fall
-// through to the next healthy shard. When every shard has tripped,
-// draws fail with ErrPoolUnhealthy. HealthErr and Stats expose the
-// degraded state for /healthz-style probes.
+// # Self-healing
+//
+// A shard whose feed monitor trips is not lost forever; it moves
+// through a supervised recovery state machine:
+//
+//	healthy ──trip──▶ quarantined ──backoff elapsed──▶ probation
+//	   ▲                   ▲                               │
+//	   │                   └───────monitor trips───────────┤
+//	   └───────────────clean probation window──────────────┘
+//
+// Quarantine discards the shard's buffered words (SP 800-90B says
+// output after a failure must not be trusted) and waits out an
+// exponential backoff with deterministic jitter. When the backoff
+// elapses the shard is reseeded — a fresh feed seed and the full
+// Algorithm 1 initialisation (random start vertex plus the mixing
+// walk) — and enters probation, where it generates and health-checks
+// words that are discarded, never served. A clean probation window
+// readmits the shard; a trip during probation re-quarantines it with
+// a longer backoff. After RecoveryPolicy.MaxTrips trips the shard is
+// retired for real. Recovery work is driven lazily by draw traffic
+// (no background goroutine), so an idle pool does no work and a Pool
+// needs no Close.
+//
+// When every shard is out of service, draws fail with
+// ErrPoolUnhealthy until a quarantined shard recovers. HealthErr and
+// Stats expose the degraded state for /healthz-style probes.
 //
 // A Pool is checkpointable: MarshalBinary/UnmarshalBinary (state.go)
-// capture every shard's walker, monitor, ring residue and tripped
-// status plus the ticket counter, so a restored pool resumes the
-// exact streams — the serving layer's snapshot/restore path rides on
-// this.
+// capture every shard's walker, monitor, ring residue and recovery
+// state (trips, remaining backoff, probation progress) plus the
+// ticket counter, so a restored pool resumes the exact streams — a
+// snapshot taken mid-recovery recovers along the identical path.
 const (
 	maxShards      = 1 << 12
 	maxShardBuffer = 1 << 20
@@ -52,33 +75,180 @@ const (
 	// shard) above which Fill bypasses the rings and writes straight
 	// from the walkers into the caller's slice.
 	directFillThreshold = 64
+
+	// probationChunk bounds the probation words generated per draw
+	// visit, so recovery work never adds more than ~one ring refill
+	// of latency to the caller that happens to drive it.
+	probationChunk = 512
 )
 
-// ErrPoolUnhealthy is returned by Pool draws when every shard's feed
-// health monitor has tripped (or been fault-injected): no trustworthy
-// randomness remains in the pool.
-var ErrPoolUnhealthy = errors.New("hybridprng: every pool shard has a tripped health monitor")
+// ErrPoolUnhealthy is returned by Pool draws when no shard is
+// currently serving — every shard is quarantined, in probation or
+// retired: no trustworthy randomness is available right now.
+var ErrPoolUnhealthy = errors.New("hybridprng: no pool shard is currently healthy")
+
+// shardState is the recovery state machine's state.
+type shardState uint32
+
+const (
+	shardHealthy     shardState = iota // serving
+	shardQuarantined                   // tripped; waiting out backoff
+	shardProbation                     // reseeded; output checked but discarded
+	shardRetired                       // permanently out of service
+)
+
+func (s shardState) String() string {
+	switch s {
+	case shardHealthy:
+		return "healthy"
+	case shardQuarantined:
+		return "quarantined"
+	case shardProbation:
+		return "probation"
+	case shardRetired:
+		return "retired"
+	}
+	return fmt.Sprintf("state(%d)", uint32(s))
+}
+
+// RecoveryPolicy tunes the pool's shard self-healing. The zero value
+// of each field means its default; the zero policy as a whole is the
+// default policy.
+type RecoveryPolicy struct {
+	// Disabled restores the legacy behaviour: a tripped shard is
+	// retired permanently on its first trip.
+	Disabled bool
+	// QuarantineBase is the backoff before the first reseed attempt
+	// (default 30s). Each subsequent trip multiplies the backoff by
+	// BackoffFactor (default 2) up to QuarantineMax (default 10m).
+	QuarantineBase time.Duration
+	BackoffFactor  float64
+	QuarantineMax  time.Duration
+	// JitterFrac spreads each backoff uniformly over ±JitterFrac of
+	// its nominal value (default 0.2) so shards tripped together do
+	// not reseed in lockstep. The jitter is derived deterministically
+	// from the shard's reseed base, so a fixed-seed pool recovers
+	// reproducibly.
+	JitterFrac float64
+	// ProbationWords is the number of reseeded words generated,
+	// health-checked and discarded before a shard is readmitted
+	// (default 4096).
+	ProbationWords int
+	// MaxTrips is the total number of trips a shard is allowed
+	// before it is retired for real (default 6).
+	MaxTrips int
+}
+
+const (
+	defaultQuarantineBase = 30 * time.Second
+	defaultBackoffFactor  = 2.0
+	defaultQuarantineMax  = 10 * time.Minute
+	defaultJitterFrac     = 0.2
+	defaultProbationWords = 4096
+	defaultMaxTrips       = 6
+)
+
+func (p RecoveryPolicy) validate() error {
+	if p.QuarantineBase < 0 {
+		return fmt.Errorf("hybridprng: negative quarantine base %v", p.QuarantineBase)
+	}
+	if p.QuarantineMax < 0 {
+		return fmt.Errorf("hybridprng: negative quarantine cap %v", p.QuarantineMax)
+	}
+	if p.BackoffFactor != 0 && p.BackoffFactor < 1 {
+		return fmt.Errorf("hybridprng: backoff factor %g < 1", p.BackoffFactor)
+	}
+	if p.JitterFrac < 0 || p.JitterFrac >= 1 {
+		return fmt.Errorf("hybridprng: jitter fraction %g outside [0, 1)", p.JitterFrac)
+	}
+	if p.ProbationWords < 0 {
+		return fmt.Errorf("hybridprng: negative probation window %d", p.ProbationWords)
+	}
+	if p.MaxTrips < 0 {
+		return fmt.Errorf("hybridprng: negative trip budget %d", p.MaxTrips)
+	}
+	return nil
+}
+
+func (p RecoveryPolicy) withDefaults() RecoveryPolicy {
+	if p.QuarantineBase == 0 {
+		p.QuarantineBase = defaultQuarantineBase
+	}
+	if p.BackoffFactor == 0 {
+		p.BackoffFactor = defaultBackoffFactor
+	}
+	if p.QuarantineMax == 0 {
+		p.QuarantineMax = defaultQuarantineMax
+	}
+	if p.QuarantineMax < p.QuarantineBase {
+		p.QuarantineMax = p.QuarantineBase
+	}
+	if p.JitterFrac == 0 {
+		p.JitterFrac = defaultJitterFrac
+	}
+	if p.ProbationWords == 0 {
+		p.ProbationWords = defaultProbationWords
+	}
+	if p.MaxTrips == 0 {
+		p.MaxTrips = defaultMaxTrips
+	}
+	return p
+}
+
+// backoff returns the quarantine duration after the trips-th trip.
+// The jitter is a pure function of (seed, trips), so recovery
+// timelines are reproducible for a fixed-seed pool.
+func (p RecoveryPolicy) backoff(trips uint32, seed uint64) time.Duration {
+	d := float64(p.QuarantineBase)
+	for i := uint32(1); i < trips && d < float64(p.QuarantineMax); i++ {
+		d *= p.BackoffFactor
+	}
+	if d > float64(p.QuarantineMax) {
+		d = float64(p.QuarantineMax)
+	}
+	if p.JitterFrac > 0 {
+		u := float64(baselines.Mix64(seed^uint64(trips)*0x9E3779B97F4A7C15)) / (1 << 64)
+		d *= 1 + p.JitterFrac*(2*u-1)
+	}
+	return time.Duration(d)
+}
 
 // Pool is safe for concurrent use by any number of goroutines.
 type Pool struct {
 	shards  []*poolShard
 	mask    uint64
 	tickets atomic.Uint64
+	policy  RecoveryPolicy
+	now     func() time.Time
+
+	tripEvents atomic.Uint64 // cumulative health trips
+	recoveries atomic.Uint64 // shards readmitted from probation
 }
 
 // poolShard is one walker behind a lock with a ring of pre-generated
-// words. tripped is atomic so the hot path of *other* shards and the
-// health probes never take this shard's lock.
+// words. state and err are atomic so the hot path of *other* shards
+// and the health probes never take this shard's lock.
 type poolShard struct {
-	mu      sync.Mutex
-	w       *core.Walker
-	mon     *bitsource.Monitor // nil unless WithHealthMonitoring
-	buf     []uint64
-	idx     int // next unread index in buf; len(buf) = empty
-	err     *bitsource.HealthError
-	tripped atomic.Bool
+	mu    sync.Mutex
+	w     *core.Walker
+	mon   *bitsource.Monitor // nil unless WithHealthMonitoring
+	buf   []uint64
+	idx   int // next unread index in buf; len(buf) = empty
+	err   atomic.Pointer[bitsource.HealthError]
+	state atomic.Uint32 // shardState
+
 	draws   atomic.Uint64 // words served to callers
 	refills atomic.Uint64 // ring refills performed
+	trips   atomic.Uint32 // health trips so far
+
+	// Recovery state, guarded by mu.
+	until    time.Time // quarantine deadline
+	probLeft int       // probation words still to discard
+
+	pool       *Pool
+	index      int
+	reseedBase uint64                           // deterministic reseed/jitter seed
+	wrap       func(int, rng.Source) rng.Source // feed wrapper (chaos); nil normally
 }
 
 // NewPool builds a sharded pool. The shard count (WithShards,
@@ -100,7 +270,15 @@ func NewPool(opts ...Option) (*Pool, error) {
 	if bufWords == 0 {
 		bufWords = defaultShardBuffer
 	}
-	p := &Pool{shards: make([]*poolShard, n), mask: uint64(n - 1)}
+	p := &Pool{
+		shards: make([]*poolShard, n),
+		mask:   uint64(n - 1),
+		policy: c.recovery.withDefaults(),
+		now:    c.now,
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
 	for i := range p.shards {
 		br, mon, err := c.bits(i)
 		if err != nil {
@@ -111,9 +289,32 @@ func NewPool(opts ...Option) (*Pool, error) {
 			return nil, fmt.Errorf("hybridprng: pool shard %d: %w", i, err)
 		}
 		buf := make([]uint64, bufWords)
-		p.shards[i] = &poolShard{w: w, mon: mon, buf: buf, idx: len(buf)}
+		p.shards[i] = &poolShard{
+			w: w, mon: mon, buf: buf, idx: len(buf),
+			pool: p, index: i,
+			reseedBase: reseedBase(c.seed, i),
+			wrap:       c.feedWrap,
+		}
 	}
 	return p, nil
+}
+
+// reseedBase derives the per-shard seed that parameterises recovery
+// reseeds and backoff jitter. It is a pure function of the pool seed
+// and the shard index so fixed-seed pools recover reproducibly.
+func reseedBase(poolSeed uint64, shard int) uint64 {
+	return baselines.Mix64(poolSeed ^ (uint64(shard)+1)*0x9E3779B97F4A7C15 ^ 0x517CC1B727220A95)
+}
+
+// SetClock replaces the time source the quarantine backoff reads
+// (default time.Now; see WithClock). It exists so a pool restored
+// from a snapshot can be driven by a manual clock in tests and in
+// the chaos harness; call it before serving traffic — it is not
+// synchronised with concurrent draws.
+func (p *Pool) SetClock(now func() time.Time) {
+	if now != nil {
+		p.now = now
+	}
 }
 
 func nextPow2(n int) int {
@@ -126,38 +327,186 @@ func nextPow2(n int) int {
 	return 1 << bits.Len(uint(n-1))
 }
 
-// trip retires the shard, recording why. Must be called with s.mu
-// held; the error is published before the flag so concurrent
-// healthErr readers that observe tripped always see the cause.
-func (s *poolShard) trip(e *bitsource.HealthError) {
-	if s.tripped.Load() {
+// tripLocked records a health failure and moves the shard to
+// quarantined (or retired, when the trip budget is spent or recovery
+// is disabled). Must be called with s.mu held; the error is
+// published before the state so concurrent healthErr readers that
+// observe the trip always see the cause. No-op unless the shard is
+// currently healthy or in probation.
+func (s *poolShard) tripLocked(e *bitsource.HealthError) {
+	switch shardState(s.state.Load()) {
+	case shardHealthy, shardProbation:
+	default:
 		return
 	}
-	s.err = e
-	s.tripped.Store(true)
+	s.err.Store(e)
+	s.idx = len(s.buf) // discard untrusted residue
+	trips := s.trips.Add(1)
+	s.pool.tripEvents.Add(1)
+	pol := s.pool.policy
+	if pol.Disabled || int(trips) >= pol.MaxTrips {
+		s.state.Store(uint32(shardRetired))
+		return
+	}
+	s.until = s.pool.now().Add(pol.backoff(trips, s.reseedBase))
+	s.state.Store(uint32(shardQuarantined))
+}
+
+// retireLocked takes the shard out of service permanently (reseed
+// machinery failures, not health trips).
+func (s *poolShard) retireLocked(e *bitsource.HealthError) {
+	s.err.Store(e)
+	s.idx = len(s.buf)
+	s.state.Store(uint32(shardRetired))
 }
 
 // monTripped reports (and latches) a monitor failure after a refill.
+// Must be called with s.mu held.
 func (s *poolShard) monTripped() bool {
 	if s.mon == nil || !s.mon.Tripped() {
 		return false
 	}
 	if he, ok := s.mon.Err().(*bitsource.HealthError); ok {
-		s.trip(he)
+		s.tripLocked(he)
 	} else {
-		s.trip(&bitsource.HealthError{Test: "monitor", Detail: s.mon.Err().Error()})
+		s.tripLocked(&bitsource.HealthError{Test: "monitor", Detail: s.mon.Err().Error()})
 	}
 	return true
 }
 
+// advance drives the shard's recovery state machine by one bounded
+// step: a quarantined shard past its deadline is reseeded into
+// probation; a probation shard generates and discards (at most) one
+// probation chunk. Called from draw paths when they encounter a
+// non-serving shard; TryLock keeps concurrent callers from convoying
+// on a recovering shard.
+func (s *poolShard) advance() {
+	switch shardState(s.state.Load()) {
+	case shardQuarantined, shardProbation:
+	default:
+		return
+	}
+	if !s.mu.TryLock() {
+		return
+	}
+	defer s.mu.Unlock()
+	switch shardState(s.state.Load()) {
+	case shardQuarantined:
+		if !s.pool.now().Before(s.until) {
+			s.reseedLocked()
+		}
+	case shardProbation:
+		s.probeLocked()
+	}
+}
+
+// reseedLocked rebuilds the shard's generator stack from a fresh,
+// deterministically derived feed seed — new feed, re-armed monitor
+// (same calibration, clean counters) and the full Algorithm 1
+// initialisation walk — and moves the shard to probation. Must be
+// called with s.mu held.
+func (s *poolShard) reseedLocked() {
+	seed := baselines.Mix64(s.reseedBase + uint64(s.trips.Load())*0x9E3779B97F4A7C15)
+	base := s.w.Bits().Source()
+	if s.mon != nil {
+		base = s.mon.Source()
+	}
+	// Peel fault-injection wrappers (chaos) down to the typed feed.
+	for {
+		u, ok := base.(interface{ Unwrap() rng.Source })
+		if !ok {
+			break
+		}
+		base = u.Unwrap()
+	}
+	fresh, err := freshFeedLike(base, seed)
+	if err != nil {
+		s.retireLocked(&bitsource.HealthError{Test: "reseed", Detail: err.Error()})
+		return
+	}
+	if s.wrap != nil {
+		if wrapped := s.wrap(s.index, fresh); wrapped != nil {
+			fresh = wrapped
+		}
+	}
+	var reader rng.Source = fresh
+	var mon *bitsource.Monitor
+	if s.mon != nil {
+		if mon, err = s.mon.Rearm(fresh); err != nil {
+			s.retireLocked(&bitsource.HealthError{Test: "reseed", Detail: err.Error()})
+			return
+		}
+		reader = mon
+	}
+	w, err := core.NewWalker(rng.NewBitReader(reader), s.w.Config())
+	if err != nil {
+		s.retireLocked(&bitsource.HealthError{Test: "reseed", Detail: err.Error()})
+		return
+	}
+	s.w, s.mon = w, mon
+	s.probLeft = s.pool.policy.ProbationWords
+	s.state.Store(uint32(shardProbation))
+	// Algorithm 1's initialisation walk already pulled feed bits
+	// through the re-armed monitor; a persistent fault trips here and
+	// sends the shard straight back to quarantine.
+	s.monTripped()
+}
+
+// freshFeedLike builds a new instance of the same feed generator
+// type as old, seeded with seed.
+func freshFeedLike(old rng.Source, seed uint64) (rng.Source, error) {
+	switch old.(type) {
+	case *baselines.GlibcRand:
+		return baselines.NewGlibcRand(uint32(seed)), nil
+	case *baselines.ANSIC:
+		return baselines.NewANSIC(uint32(seed)), nil
+	case *baselines.SplitMix64:
+		return baselines.NewSplitMix64(seed), nil
+	}
+	if s, ok := old.(rng.Seeder); ok {
+		s.Seed(seed)
+		return old, nil
+	}
+	return nil, fmt.Errorf("hybridprng: feed %T cannot be reseeded", old)
+}
+
+// probeLocked runs one probation step: generate up to probationChunk
+// words through the reseeded stack, health-check and discard them.
+// An empty probation balance readmits the shard. Must be called with
+// s.mu held.
+func (s *poolShard) probeLocked() {
+	n := s.probLeft
+	if n > probationChunk {
+		n = probationChunk
+	}
+	for left := n; left > 0; {
+		k := left
+		if k > len(s.buf) {
+			k = len(s.buf)
+		}
+		s.w.Fill(s.buf[:k]) // scratch: the ring is empty during probation
+		left -= k
+	}
+	s.idx = len(s.buf)
+	if s.monTripped() {
+		return
+	}
+	s.probLeft -= n
+	if s.probLeft <= 0 {
+		s.err.Store(nil)
+		s.state.Store(uint32(shardHealthy))
+		s.pool.recoveries.Add(1)
+	}
+}
+
 // next serves one word from the ring, refilling when empty. ok is
-// false when the shard is (or just became) unhealthy.
+// false when the shard is not serving (or just tripped).
 func (s *poolShard) next() (v uint64, ok bool) {
-	if s.tripped.Load() {
+	if shardState(s.state.Load()) != shardHealthy {
 		return 0, false
 	}
 	s.mu.Lock()
-	if s.tripped.Load() {
+	if shardState(s.state.Load()) != shardHealthy {
 		s.mu.Unlock()
 		return 0, false
 	}
@@ -179,15 +528,15 @@ func (s *poolShard) next() (v uint64, ok bool) {
 
 // fill writes len(dst) words straight from the walker (bypassing the
 // ring, whose buffered words stay put for Uint64 callers). ok is
-// false when the shard is unhealthy — including a trip detected
+// false when the shard is not serving — including a trip detected
 // *after* generating, in which case dst holds untrusted words the
-// caller must overwrite elsewhere.
+// caller must overwrite or zero.
 func (s *poolShard) fill(dst []uint64) bool {
-	if s.tripped.Load() {
+	if shardState(s.state.Load()) != shardHealthy {
 		return false
 	}
 	s.mu.Lock()
-	if s.tripped.Load() {
+	if shardState(s.state.Load()) != shardHealthy {
 		s.mu.Unlock()
 		return false
 	}
@@ -201,33 +550,44 @@ func (s *poolShard) fill(dst []uint64) bool {
 	return true
 }
 
-// healthErr returns why the shard was retired, or nil.
+// healthErr returns why the shard is out of service, or nil.
 func (s *poolShard) healthErr() error {
-	if !s.tripped.Load() {
+	if shardState(s.state.Load()) == shardHealthy {
 		return nil
 	}
-	return s.err
+	if e := s.err.Load(); e != nil {
+		return e
+	}
+	return nil
 }
 
-// buffered returns how many unread words sit in the ring.
-func (s *poolShard) buffered() int {
+// lockedStats reads the mu-guarded recovery fields for Stats.
+func (s *poolShard) lockedStats(now time.Time) (buffered int, retryIn time.Duration) {
 	s.mu.Lock()
-	n := len(s.buf) - s.idx
-	s.mu.Unlock()
-	return n
+	defer s.mu.Unlock()
+	buffered = len(s.buf) - s.idx
+	if shardState(s.state.Load()) == shardQuarantined {
+		if d := s.until.Sub(now); d > 0 {
+			retryIn = d
+		}
+	}
+	return buffered, retryIn
 }
 
 // Uint64 returns the next word from a healthy shard. Each call lands
 // on a different shard (atomic ticket & mask), so concurrent callers
-// spread across the pool instead of convoying on one lock. If the
-// chosen shard has tripped the draw falls through to the next
-// healthy one; only a fully tripped pool errors.
+// spread across the pool instead of convoying on one lock. A draw
+// that lands on a recovering shard advances its state machine one
+// bounded step and falls through to the next healthy shard; only a
+// pool with no serving shard errors.
 func (p *Pool) Uint64() (uint64, error) {
 	t := p.tickets.Add(1)
 	for i := uint64(0); i <= p.mask; i++ {
-		if v, ok := p.shards[(t+i)&p.mask].next(); ok {
+		s := p.shards[(t+i)&p.mask]
+		if v, ok := s.next(); ok {
 			return v, nil
 		}
+		s.advance()
 	}
 	return 0, ErrPoolUnhealthy
 }
@@ -236,19 +596,24 @@ func (p *Pool) Uint64() (uint64, error) {
 // healthy shards concurrently and bypassing the rings. Small
 // requests are served from one shard's ring. Any shard that trips
 // mid-fill has its segment regenerated by a healthy shard, so on a
-// nil return every word in dst is trustworthy.
+// nil return every word in dst is trustworthy. On a non-nil error
+// dst is zeroed in full — callers can never consume stale or
+// untrusted buffer contents as randomness.
 func (p *Pool) Fill(dst []uint64) error {
 	if len(dst) == 0 {
 		return nil
 	}
+	p.sweep()
 	healthy := p.healthyShards()
 	if len(healthy) == 0 {
+		zeroWords(dst)
 		return ErrPoolUnhealthy
 	}
 	if len(dst) <= directFillThreshold {
 		for i := range dst {
 			v, err := p.Uint64()
 			if err != nil {
+				zeroWords(dst)
 				return err
 			}
 			dst[i] = v
@@ -290,10 +655,17 @@ func (p *Pool) Fill(dst []uint64) error {
 	// healthy set, so this terminates.
 	for _, seg := range failed {
 		if err := p.fillSegment(seg); err != nil {
+			zeroWords(dst)
 			return err
 		}
 	}
 	return nil
+}
+
+func zeroWords(dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
 }
 
 func (p *Pool) fillSegment(seg []uint64) error {
@@ -312,6 +684,9 @@ func (p *Pool) fillSegment(seg []uint64) error {
 
 // Read fills b with random bytes (little-endian words), so a Pool
 // can stand behind io.Reader plumbing. It draws ⌈len(b)/8⌉ words.
+// On error it returns how many bytes were written; those bytes are
+// valid served randomness, and the unfilled tail b[n:] is zeroed so
+// no stale buffer contents can be mistaken for output.
 func (p *Pool) Read(b []byte) (int, error) {
 	var scratch [512]uint64
 	done := 0
@@ -321,6 +696,9 @@ func (p *Pool) Read(b []byte) (int, error) {
 			want = len(scratch)
 		}
 		if err := p.Fill(scratch[:want]); err != nil {
+			for i := done; i < len(b); i++ {
+				b[i] = 0
+			}
 			return done, err
 		}
 		for _, v := range scratch[:want] {
@@ -333,10 +711,20 @@ func (p *Pool) Read(b []byte) (int, error) {
 	return done, nil
 }
 
+// sweep advances every recovering shard's state machine one bounded
+// step. Cheap when nothing is recovering (one atomic load per
+// shard); called from Fill so recovery makes progress under batch
+// traffic even when tickets never land on the sick shard.
+func (p *Pool) sweep() {
+	for _, s := range p.shards {
+		s.advance()
+	}
+}
+
 func (p *Pool) healthyShards() []*poolShard {
 	out := make([]*poolShard, 0, len(p.shards))
 	for _, s := range p.shards {
-		if !s.tripped.Load() {
+		if shardState(s.state.Load()) == shardHealthy {
 			out = append(out, s)
 		}
 	}
@@ -346,8 +734,8 @@ func (p *Pool) healthyShards() []*poolShard {
 // Shards returns the shard count (always a power of two).
 func (p *Pool) Shards() int { return len(p.shards) }
 
-// HealthErr returns the first shard's health failure, or nil while
-// every shard is healthy. A non-nil result with healthy shards
+// HealthErr returns the first out-of-service shard's failure, or nil
+// while every shard is healthy. A non-nil result with healthy shards
 // remaining means the pool is degraded but still serving; Stats
 // distinguishes the two.
 func (p *Pool) HealthErr() error {
@@ -359,10 +747,13 @@ func (p *Pool) HealthErr() error {
 	return nil
 }
 
-// InjectFault retires shard i as if its feed health monitor had
-// tripped — the fault-injection hook behind operational drills and
-// the /healthz degradation tests. It works with or without
-// WithHealthMonitoring.
+// InjectFault trips shard i as if its feed health monitor had failed
+// — the fault-injection hook behind operational drills and the
+// /healthz degradation tests. The shard enters quarantine and
+// recovers through the normal state machine (or is retired when
+// recovery is disabled or its trip budget is spent). It works with
+// or without WithHealthMonitoring. Injecting a fault into a shard
+// already quarantined or retired is a no-op.
 func (p *Pool) InjectFault(i int) error {
 	if i < 0 || i >= len(p.shards) {
 		return fmt.Errorf("hybridprng: shard %d outside [0, %d)", i, len(p.shards))
@@ -375,15 +766,15 @@ func (p *Pool) InjectFault(i int) error {
 	if s.mon != nil {
 		s.monTripped()
 	} else {
-		s.trip(&bitsource.HealthError{Test: "forced", Detail: "fault injection"})
+		s.tripLocked(&bitsource.HealthError{Test: "forced", Detail: "fault injection"})
 	}
 	s.mu.Unlock()
 	return nil
 }
 
 // Generated sums the words produced by the shard walkers (including
-// words still buffered in rings and words discarded by trips, which
-// is why Generated ≥ Stats().Draws).
+// words still buffered in rings and words discarded by trips or
+// probation, which is why Generated ≥ Stats().Draws).
 func (p *Pool) Generated() uint64 {
 	var total uint64
 	for _, s := range p.shards {
@@ -396,48 +787,69 @@ func (p *Pool) Generated() uint64 {
 
 // ShardStats describes one shard for monitoring.
 type ShardStats struct {
-	Draws    uint64 // words served to callers
-	Refills  uint64 // ring refills
-	Buffered int    // unread words in the ring
-	Tripped  bool
-	Failure  string // empty until tripped
+	Draws    uint64        // words served to callers
+	Refills  uint64        // ring refills
+	Buffered int           // unread words in the ring
+	State    string        // healthy / quarantined / probation / retired
+	Tripped  bool          // state != healthy
+	Trips    uint32        // health trips so far
+	RetryIn  time.Duration // remaining quarantine backoff (0 unless quarantined)
+	Failure  string        // last failure; empty while healthy
 }
 
 // PoolStats is a point-in-time snapshot for /metrics-style export.
 type PoolStats struct {
 	Shards      int
 	Healthy     int
+	Quarantined int
+	Probation   int
+	Retired     int
 	BufferWords int    // ring capacity per shard
 	Draws       uint64 // total words served
 	Refills     uint64 // total ring refills
-	HealthTrips uint64 // shards retired
+	HealthTrips uint64 // cumulative health-trip events
+	Recoveries  uint64 // shards readmitted after probation
 	PerShard    []ShardStats
 }
 
 // Stats snapshots the pool. Safe to call concurrently with draws; it
-// takes each shard's lock only to read the ring occupancy.
+// takes each shard's lock only to read the ring occupancy and the
+// quarantine deadline.
 func (p *Pool) Stats() PoolStats {
+	now := p.now()
 	st := PoolStats{
 		Shards:      len(p.shards),
 		BufferWords: len(p.shards[0].buf),
+		HealthTrips: p.tripEvents.Load(),
+		Recoveries:  p.recoveries.Load(),
 		PerShard:    make([]ShardStats, len(p.shards)),
 	}
 	for i, s := range p.shards {
+		state := shardState(s.state.Load())
+		buffered, retryIn := s.lockedStats(now)
 		ss := ShardStats{
 			Draws:    s.draws.Load(),
 			Refills:  s.refills.Load(),
-			Buffered: s.buffered(),
-			Tripped:  s.tripped.Load(),
+			Buffered: buffered,
+			State:    state.String(),
+			Tripped:  state != shardHealthy,
+			Trips:    s.trips.Load(),
+			RetryIn:  retryIn,
 		}
 		if err := s.healthErr(); err != nil {
 			ss.Failure = err.Error()
 		}
 		st.Draws += ss.Draws
 		st.Refills += ss.Refills
-		if ss.Tripped {
-			st.HealthTrips++
-		} else {
+		switch state {
+		case shardHealthy:
 			st.Healthy++
+		case shardQuarantined:
+			st.Quarantined++
+		case shardProbation:
+			st.Probation++
+		case shardRetired:
+			st.Retired++
 		}
 		st.PerShard[i] = ss
 	}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/bitsource"
@@ -58,6 +59,10 @@ type config struct {
 	healthHMin  float64 // 0 = no monitoring
 	shards      int     // 0 = auto (NewPool only)
 	shardBuffer int     // 0 = default (NewPool only)
+	recovery    RecoveryPolicy
+	recoverySet bool
+	now         func() time.Time                 // nil = time.Now (NewPool only)
+	feedWrap    func(int, rng.Source) rng.Source // nil = identity
 }
 
 // Option configures New and NewParallel.
@@ -165,6 +170,54 @@ func WithShardBuffer(words int) Option {
 	}
 }
 
+// WithRecovery sets the pool's shard self-healing policy (see
+// RecoveryPolicy). Zero-valued fields take the documented defaults,
+// so WithRecovery(RecoveryPolicy{QuarantineBase: time.Second}) only
+// shortens the first backoff. Pass Disabled: true to restore the
+// legacy behaviour where a tripped shard is retired permanently.
+// Other constructors ignore it.
+func WithRecovery(p RecoveryPolicy) Option {
+	return func(c *config) error {
+		if err := p.validate(); err != nil {
+			return err
+		}
+		c.recovery = p
+		c.recoverySet = true
+		return nil
+	}
+}
+
+// WithClock injects the time source the pool's quarantine backoff
+// reads (default time.Now). Deterministic tests and the chaos
+// harness drive recovery through a manual clock; production callers
+// never need it.
+func WithClock(now func() time.Time) Option {
+	return func(c *config) error {
+		if now == nil {
+			return fmt.Errorf("hybridprng: nil clock")
+		}
+		c.now = now
+		return nil
+	}
+}
+
+// WithFeedWrapper interposes wrap between each worker's raw feed
+// generator and everything above it (the SP 800-90B monitor sees the
+// wrapped stream). The chaos harness uses this to inject seeded
+// faults below the health tests; wrap is called once per worker with
+// the worker index and must return a non-nil source. Wrapped feeds
+// are not checkpointable (MarshalBinary reports an error), so the
+// hook is a dev/test facility, not a production one.
+func WithFeedWrapper(wrap func(worker int, src rng.Source) rng.Source) Option {
+	return func(c *config) error {
+		if wrap == nil {
+			return fmt.Errorf("hybridprng: nil feed wrapper")
+		}
+		c.feedWrap = wrap
+		return nil
+	}
+}
+
 func buildConfig(opts []Option) (config, error) {
 	c := config{walkLen: core.DefaultWalkLen, initWalkLen: core.DefaultInitWalkLen, feed: FeedGlibc}
 	for _, o := range opts {
@@ -194,6 +247,11 @@ func (c config) feedSource(worker int) rng.Source {
 // health monitor (returned non-nil only when monitoring is on).
 func (c config) bits(worker int) (*rng.BitReader, *bitsource.Monitor, error) {
 	src := c.feedSource(worker)
+	if c.feedWrap != nil {
+		if src = c.feedWrap(worker, src); src == nil {
+			return nil, nil, fmt.Errorf("hybridprng: feed wrapper returned nil for worker %d", worker)
+		}
+	}
 	if c.healthHMin > 0 {
 		mon, err := bitsource.NewMonitor(src, c.healthHMin)
 		if err != nil {

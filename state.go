@@ -4,6 +4,8 @@ import (
 	"encoding"
 	"encoding/binary"
 	"fmt"
+	"math"
+	"time"
 
 	"repro/internal/baselines"
 	"repro/internal/bitsource"
@@ -38,10 +40,18 @@ const (
 	stateMagic   = "hprng"
 	stateVersion = 2
 
-	parMagic    = "hprng-par"
-	parVersion  = 1
-	poolMagic   = "hprng-pool"
-	poolVersion = 1
+	parMagic   = "hprng-par"
+	parVersion = 1
+	poolMagic  = "hprng-pool"
+	// poolVersion 3 carries the recovery policy, the pool trip/recovery
+	// counters and per-shard recovery state (state machine position,
+	// trip count, reseed base, remaining quarantine backoff, probation
+	// balance) so a snapshot taken mid-recovery resumes on the exact
+	// same recovery timeline. Version 1 blobs (written before
+	// self-healing; there was no pool v2) still decode: their tripped
+	// shards restore as retired, the legacy semantics they were written
+	// under.
+	poolVersion = 3
 )
 
 var (
@@ -330,14 +340,17 @@ func (p *Parallel) UnmarshalBinary(data []byte) error {
 }
 
 // MarshalBinary checkpoints the pool: shard geometry, the ticket
-// counter, and per shard the walker (with monitor), the unread ring
-// residue, the serving counters and the tripped status. Each shard
-// is captured under its lock, so a snapshot taken while other
-// goroutines draw is consistent per shard (every draw lands entirely
-// before or entirely after it); for an exact global resume point,
-// quiesce traffic first — cmd/randd drains its HTTP server before
-// the shutdown snapshot. A tripped shard's residue is written empty:
-// SP 800-90B forbids serving words buffered before a failure.
+// counter, the recovery policy and counters, and per shard the
+// walker (with monitor), the unread ring residue, the serving
+// counters and the full recovery state. Each shard is captured under
+// its lock, so a snapshot taken while other goroutines draw is
+// consistent per shard (every draw lands entirely before or entirely
+// after it); for an exact global resume point, quiesce traffic first
+// — cmd/randd drains its HTTP server before the shutdown snapshot. A
+// non-healthy shard's residue is written empty: SP 800-90B forbids
+// serving words buffered before a failure. A quarantined shard's
+// backoff is stored as *remaining* duration, so restore re-anchors
+// it to the restoring process's clock.
 func (p *Pool) MarshalBinary() ([]byte, error) {
 	out := append([]byte(poolMagic), poolVersion)
 	var b8 [8]byte
@@ -345,12 +358,30 @@ func (p *Pool) MarshalBinary() ([]byte, error) {
 		binary.LittleEndian.PutUint32(b8[:4], v)
 		out = append(out, b8[:4]...)
 	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		out = append(out, b8[:]...)
+	}
 	put32(uint32(len(p.shards)))
 	put32(uint32(len(p.shards[0].buf)))
-	binary.LittleEndian.PutUint64(b8[:], p.tickets.Load())
-	out = append(out, b8[:]...)
+	put64(p.tickets.Load())
+	pol := p.policy
+	if pol.Disabled {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	put64(uint64(pol.QuarantineBase))
+	put64(math.Float64bits(pol.BackoffFactor))
+	put64(uint64(pol.QuarantineMax))
+	put64(math.Float64bits(pol.JitterFrac))
+	put32(uint32(pol.ProbationWords))
+	put32(uint32(pol.MaxTrips))
+	put64(p.tripEvents.Load())
+	put64(p.recoveries.Load())
+	now := p.now()
 	for i, s := range p.shards {
-		blob, err := s.marshalBinary()
+		blob, err := s.marshalBinary(now)
 		if err != nil {
 			return nil, fmt.Errorf("hybridprng: shard %d: %w", i, err)
 		}
@@ -360,7 +391,7 @@ func (p *Pool) MarshalBinary() ([]byte, error) {
 }
 
 // marshalBinary captures one shard under its lock.
-func (s *poolShard) marshalBinary() ([]byte, error) {
+func (s *poolShard) marshalBinary(now time.Time) ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	wBlob, err := marshalWalker(s.w)
@@ -370,8 +401,9 @@ func (s *poolShard) marshalBinary() ([]byte, error) {
 	var out []byte
 	out = appendPrefixed(out, wBlob)
 	var b8 [8]byte
+	state := shardState(s.state.Load())
 	residue := s.buf[s.idx:]
-	if s.tripped.Load() {
+	if state != shardHealthy {
 		residue = nil
 	}
 	binary.LittleEndian.PutUint32(b8[:4], uint32(len(residue)))
@@ -380,12 +412,30 @@ func (s *poolShard) marshalBinary() ([]byte, error) {
 		binary.LittleEndian.PutUint64(b8[:], v)
 		out = append(out, b8[:]...)
 	}
-	binary.LittleEndian.PutUint64(b8[:], s.draws.Load())
-	out = append(out, b8[:]...)
-	binary.LittleEndian.PutUint64(b8[:], s.refills.Load())
-	out = append(out, b8[:]...)
-	if err := s.healthErr(); err != nil {
-		he := s.err
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		out = append(out, b8[:]...)
+	}
+	put64(s.draws.Load())
+	put64(s.refills.Load())
+	out = append(out, byte(state))
+	binary.LittleEndian.PutUint32(b8[:4], s.trips.Load())
+	out = append(out, b8[:4]...)
+	put64(s.reseedBase)
+	var remaining time.Duration
+	if state == shardQuarantined {
+		if remaining = s.until.Sub(now); remaining < 0 {
+			remaining = 0
+		}
+	}
+	put64(uint64(remaining))
+	probLeft := 0
+	if state == shardProbation {
+		probLeft = s.probLeft
+	}
+	binary.LittleEndian.PutUint32(b8[:4], uint32(probLeft))
+	out = append(out, b8[:4]...)
+	if he := s.err.Load(); he != nil && state != shardHealthy {
 		out = append(out, 1)
 		for _, str := range []string{he.Test, he.Detail} {
 			if len(str) > 0xFFFF {
@@ -401,9 +451,37 @@ func (s *poolShard) marshalBinary() ([]byte, error) {
 	return out, nil
 }
 
+// takeFailure consumes the optional failure-detail record shared by
+// the v1 and v3 shard formats.
+func takeFailure(rest []byte) (*bitsource.HealthError, []byte, error) {
+	if len(rest) < 1 {
+		return nil, nil, fmt.Errorf("hybridprng: shard failure flag truncated")
+	}
+	flagged := rest[0] != 0
+	rest = rest[1:]
+	if !flagged {
+		return nil, rest, nil
+	}
+	var strs [2]string
+	for i := range strs {
+		if len(rest) < 2 {
+			return nil, nil, fmt.Errorf("hybridprng: shard failure detail truncated")
+		}
+		n := int(binary.LittleEndian.Uint16(rest))
+		rest = rest[2:]
+		if len(rest) < n {
+			return nil, nil, fmt.Errorf("hybridprng: shard failure detail truncated")
+		}
+		strs[i] = string(rest[:n])
+		rest = rest[n:]
+	}
+	return &bitsource.HealthError{Test: strs[0], Detail: strs[1]}, rest, nil
+}
+
 // unmarshalShard rebuilds one shard; bufWords is the ring capacity
-// from the container header.
-func unmarshalShard(blob []byte, bufWords int) (*poolShard, error) {
+// and version the container version from the pool header. now
+// re-anchors a quarantined shard's remaining backoff.
+func unmarshalShard(blob []byte, bufWords int, version byte, now time.Time) (*poolShard, error) {
 	wBlob, rest, err := takePrefixed(blob, "shard walker state")
 	if err != nil {
 		return nil, err
@@ -420,7 +498,7 @@ func unmarshalShard(blob []byte, bufWords int) (*poolShard, error) {
 	if nRes > bufWords {
 		return nil, fmt.Errorf("hybridprng: ring residue %d exceeds buffer %d", nRes, bufWords)
 	}
-	if len(rest) < 8*nRes+8+8+1 {
+	if len(rest) < 8*nRes+8+8 {
 		return nil, fmt.Errorf("hybridprng: shard state truncated")
 	}
 	buf := make([]uint64, bufWords)
@@ -432,34 +510,76 @@ func unmarshalShard(blob []byte, bufWords int) (*poolShard, error) {
 	s := &poolShard{w: w, mon: mon, buf: buf, idx: idx}
 	s.draws.Store(binary.LittleEndian.Uint64(rest))
 	s.refills.Store(binary.LittleEndian.Uint64(rest[8:]))
-	tripped := rest[16] != 0
-	rest = rest[17:]
-	if tripped {
-		var strs [2]string
-		for i := range strs {
-			if len(rest) < 2 {
-				return nil, fmt.Errorf("hybridprng: shard failure detail truncated")
-			}
-			n := int(binary.LittleEndian.Uint16(rest))
-			rest = rest[2:]
-			if len(rest) < n {
-				return nil, fmt.Errorf("hybridprng: shard failure detail truncated")
-			}
-			strs[i] = string(rest[:n])
-			rest = rest[n:]
+	rest = rest[16:]
+
+	if version == 1 {
+		// Legacy blob: a tripped shard was retired permanently, and
+		// that is how it restores — a v1 snapshot must not resurrect a
+		// feed that failed its health tests.
+		he, r, err := takeFailure(rest)
+		if err != nil {
+			return nil, err
 		}
-		s.trip(&bitsource.HealthError{Test: strs[0], Detail: strs[1]})
+		rest = r
+		if he != nil {
+			s.err.Store(he)
+			s.idx = len(s.buf)
+			s.state.Store(uint32(shardRetired))
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("hybridprng: %d trailing bytes after shard state", len(rest))
+		}
+		return s, nil
+	}
+
+	if len(rest) < 1+4+8+8+4 {
+		return nil, fmt.Errorf("hybridprng: shard recovery state truncated")
+	}
+	state := shardState(rest[0])
+	if state > shardRetired {
+		return nil, fmt.Errorf("hybridprng: unknown shard state %d", rest[0])
+	}
+	s.trips.Store(binary.LittleEndian.Uint32(rest[1:]))
+	s.reseedBase = binary.LittleEndian.Uint64(rest[5:])
+	remaining := time.Duration(binary.LittleEndian.Uint64(rest[13:]))
+	probLeft := int(binary.LittleEndian.Uint32(rest[21:]))
+	rest = rest[25:]
+	he, rest, err := takeFailure(rest)
+	if err != nil {
+		return nil, err
 	}
 	if len(rest) != 0 {
 		return nil, fmt.Errorf("hybridprng: %d trailing bytes after shard state", len(rest))
+	}
+	if remaining < 0 || remaining > 1000*time.Hour {
+		return nil, fmt.Errorf("hybridprng: shard backoff %v out of range", remaining)
+	}
+	if probLeft < 0 || probLeft > maxShardBuffer {
+		return nil, fmt.Errorf("hybridprng: shard probation balance %d out of range", probLeft)
+	}
+	s.state.Store(uint32(state))
+	s.err.Store(he)
+	switch state {
+	case shardHealthy:
+	case shardQuarantined:
+		s.idx = len(s.buf)
+		s.until = now.Add(remaining)
+	case shardProbation:
+		s.idx = len(s.buf)
+		s.probLeft = probLeft
+	case shardRetired:
+		s.idx = len(s.buf)
 	}
 	return s, nil
 }
 
 // UnmarshalBinary restores a Pool written by MarshalBinary,
-// replacing p's state entirely. Restored tripped shards stay
-// retired — a restart must not resurrect a feed that failed its
-// health tests.
+// replacing p's state entirely — including mid-recovery shards,
+// which resume their quarantine countdown (re-anchored to this
+// process's clock; call SetClock *before* UnmarshalBinary to restore
+// against a test clock) or their probation balance. v1 blobs decode
+// with their tripped shards retired, the semantics they were written
+// under.
 func (p *Pool) UnmarshalBinary(data []byte) error {
 	if len(data) < len(poolMagic)+1+4+4+8 {
 		return fmt.Errorf("hybridprng: pool state too short (%d bytes)", len(data))
@@ -468,8 +588,9 @@ func (p *Pool) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("hybridprng: bad pool state magic")
 	}
 	rest := data[len(poolMagic):]
-	if rest[0] != poolVersion {
-		return fmt.Errorf("hybridprng: unsupported pool state version %d", rest[0])
+	version := rest[0]
+	if version != 1 && version != poolVersion {
+		return fmt.Errorf("hybridprng: unsupported pool state version %d", version)
 	}
 	shards := int(binary.LittleEndian.Uint32(rest[1:]))
 	bufWords := int(binary.LittleEndian.Uint32(rest[5:]))
@@ -481,22 +602,66 @@ func (p *Pool) UnmarshalBinary(data []byte) error {
 	if bufWords < 1 || bufWords > maxShardBuffer {
 		return fmt.Errorf("hybridprng: shard buffer %d outside [1, %d]", bufWords, maxShardBuffer)
 	}
-	restored := &Pool{shards: make([]*poolShard, shards), mask: uint64(shards - 1)}
-	restored.tickets.Store(tickets)
+	now := time.Now
+	if p.now != nil {
+		now = p.now
+	}
+	pol := RecoveryPolicy{}
+	var tripEvents, recoveries uint64
+	if version == poolVersion {
+		const polLen = 1 + 8 + 8 + 8 + 8 + 4 + 4 + 8 + 8
+		if len(rest) < polLen {
+			return fmt.Errorf("hybridprng: pool policy truncated")
+		}
+		pol.Disabled = rest[0] != 0
+		pol.QuarantineBase = time.Duration(binary.LittleEndian.Uint64(rest[1:]))
+		pol.BackoffFactor = math.Float64frombits(binary.LittleEndian.Uint64(rest[9:]))
+		pol.QuarantineMax = time.Duration(binary.LittleEndian.Uint64(rest[17:]))
+		pol.JitterFrac = math.Float64frombits(binary.LittleEndian.Uint64(rest[25:]))
+		pol.ProbationWords = int(binary.LittleEndian.Uint32(rest[33:]))
+		pol.MaxTrips = int(binary.LittleEndian.Uint32(rest[37:]))
+		tripEvents = binary.LittleEndian.Uint64(rest[41:])
+		recoveries = binary.LittleEndian.Uint64(rest[49:])
+		rest = rest[polLen:]
+		if math.IsNaN(pol.BackoffFactor) || math.IsNaN(pol.JitterFrac) {
+			return fmt.Errorf("hybridprng: pool policy carries NaN")
+		}
+		if err := pol.validate(); err != nil {
+			return err
+		}
+	}
+	restored := &Pool{
+		shards: make([]*poolShard, shards),
+		mask:   uint64(shards - 1),
+		policy: pol.withDefaults(),
+	}
 	for i := range restored.shards {
 		blob, r, err := takePrefixed(rest, fmt.Sprintf("shard %d state", i))
 		if err != nil {
 			return err
 		}
 		rest = r
-		if restored.shards[i], err = unmarshalShard(blob, bufWords); err != nil {
+		if restored.shards[i], err = unmarshalShard(blob, bufWords, version, now()); err != nil {
 			return fmt.Errorf("hybridprng: shard %d: %w", i, err)
 		}
 	}
 	if len(rest) != 0 {
 		return fmt.Errorf("hybridprng: %d trailing bytes after pool state", len(rest))
 	}
-	p.shards, p.mask = restored.shards, restored.mask
+	p.shards, p.mask, p.policy = restored.shards, restored.mask, restored.policy
+	if p.now == nil {
+		p.now = time.Now
+	}
+	for i, s := range p.shards {
+		s.pool, s.index = p, i
+		if version == 1 || s.reseedBase == 0 {
+			// v1 blobs predate deterministic reseeding; derive a stable
+			// fallback from the shard index.
+			s.reseedBase = reseedBase(0, i)
+		}
+	}
 	p.tickets.Store(tickets)
+	p.tripEvents.Store(tripEvents)
+	p.recoveries.Store(recoveries)
 	return nil
 }

@@ -1,0 +1,66 @@
+package hybridprng
+
+import (
+	"encoding/hex"
+	"testing"
+)
+
+// poolBlobV1 is a container-v1 pool snapshot captured from the
+// encoder as it existed before the recovery state machine: a
+// two-shard pool (seed 20260805, 8-word rings, hMin 4) after 21
+// draws with shard 1 fault-injected. v1 predates self-healing, so
+// its tripped shards must restore retired — a legacy snapshot must
+// not resurrect a feed that failed its health tests.
+const poolBlobV1 = "6870726e672d706f6f6c010200000008000000150000000000000021010000d80000006870726e67020140000000400000000423eccb49754e671000000000000000a6a4b6820d1635a0008e000101ebee94894fb5542c562cdd61279e3376e0934fbbb874b9a5b861019707018a91f0a422510c163fc147f681363abfe5f529f802b80646443a85f9922f3a9ffb1c29daa8d8dc43d01b5c4b2c2322fb8e2b6fc327340c1635a052525bc10c26f832b0ca087d3057cc959d62d0fe359b33020a1c6e9d022b1c446cfb38fb04b2fbe59522b78fb73b1c71180000001e004d01090000000002000047000000a0010000003503000000a00100000100060000001bbb3d6db337843e2a736e10eded7cec74b806ef6f7fa0f7c5e0ad27b2d6bb953e0de19672c05aae0423eccb49754e670a0000000000000002000000000000000023010000f10000006870726e67020140000000400000002bdd97c4540fbd031000000000000000efcf1fae0a6b96f3008e0001015d251a2d0fab9d04c568119776b08eb8b202a23ee034fd944ff810983eb2b29ffbc08a322dd43e007ac1b8b6eb28fdc93d3d4d180af208ae039e411af4c964a6956e5b8d9ae702553bff6c75697c45816f59f8910b6b96f3f7e70f575f963bcbd06b297e8e6bcad5f03c4339f3fb00ae9de44209f6f44cc0a14173b82ea87c53b1d004ebfc0fa76f1800000037004d01090000000002000047000000f3010000002004000000a001000001010600666f726365640f006661756c7420696e6a656374696f6e000000000b000000000000000200000000000000010600666f726365640f006661756c7420696e6a656374696f6e"
+
+// poolBlobV1Next is the continuation the live pool served after that
+// snapshot was taken (shard 0's ring residue first, then fresh
+// walker output; shard 1 skipped as tripped).
+var poolBlobV1Next = [8]uint64{
+	0x3e8437b36d3dbb1b, 0xec7ceded106e732a, 0xf7a07f6fef06b874, 0x95bbd6b227ade0c5,
+	0xae5ac07296e10d3e, 0x674e7549cbec2304, 0xece05de77329a67f, 0xee49af8d7bbddb3b,
+}
+
+// TestPoolStateV1Decodes: the v3 decoder must keep reading v1 blobs,
+// restoring their tripped shards as retired and continuing the
+// healthy shard's stream bit-for-bit.
+func TestPoolStateV1Decodes(t *testing.T) {
+	blob, err := hex.DecodeString(poolBlobV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := new(Pool)
+	if err := p.UnmarshalBinary(blob); err != nil {
+		t.Fatalf("decode v1 pool blob: %v", err)
+	}
+	st := p.Stats()
+	if p.Shards() != 2 || st.Healthy != 1 || st.Retired != 1 {
+		t.Fatalf("restored v1 pool: %+v", st)
+	}
+	if ss := st.PerShard[1]; ss.State != "retired" || ss.Failure == "" {
+		t.Fatalf("v1 tripped shard must restore retired with its failure: %+v", ss)
+	}
+	for i, want := range poolBlobV1Next {
+		v, err := p.Uint64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != want {
+			t.Fatalf("continuation word %d: %#x, want %#x", i, v, want)
+		}
+	}
+	// Round-trip through the v3 encoder: same continuation after.
+	p2 := new(Pool)
+	blob3, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.UnmarshalBinary(blob3); err != nil {
+		t.Fatalf("decode re-encoded v3 blob: %v", err)
+	}
+	a, errA := p.Uint64()
+	b, errB := p2.Uint64()
+	if errA != nil || errB != nil || a != b {
+		t.Fatalf("v3 round-trip diverged: %#x/%v vs %#x/%v", a, errA, b, errB)
+	}
+}
