@@ -1,0 +1,50 @@
+package client
+
+import (
+	"fmt"
+	"io"
+	"math/rand/v2"
+
+	hybridprng "repro"
+)
+
+// Drawer is the serving-layer draw interface: exactly the shape
+// *hybridprng.Pool exposes in-process, so code written against
+// Drawer runs unchanged whether its randomness is local (a Pool) or
+// remote (a Client over a randd fleet).
+type Drawer interface {
+	Uint64() (uint64, error)
+	Fill(dst []uint64) error
+	Read(p []byte) (int, error)
+}
+
+var (
+	_ Drawer      = (*Client)(nil)
+	_ Drawer      = (*hybridprng.Pool)(nil)
+	_ io.Reader   = (*Client)(nil)
+	_ rand.Source = (*Source)(nil)
+)
+
+// Source adapts a Client to math/rand/v2.Source. The interface has
+// no error channel, so a draw failure (fleet fully down past
+// MaxStall, or a closed client) panics — failing closed, like
+// crypto/rand: silently degraded randomness is worse than a crash.
+type Source struct{ c *Client }
+
+// Source returns a math/rand/v2-compatible view of the client.
+func (c *Client) Source() *Source { return &Source{c} }
+
+// Uint64 implements rand.Source.
+func (s *Source) Uint64() uint64 {
+	v, err := s.c.Uint64()
+	if err != nil {
+		panic(fmt.Sprintf("client: draw failed behind rand.Source: %v", err))
+	}
+	return v
+}
+
+// Rand returns a *rand.Rand drawing every value from the randd
+// fleet through the prefetch ring — the one-liner for code that
+// wants the stdlib API (Float64, Shuffle, Perm, …) over served
+// randomness.
+func (c *Client) Rand() *rand.Rand { return rand.New(c.Source()) }

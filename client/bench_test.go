@@ -1,0 +1,115 @@
+package client
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+)
+
+// BenchmarkClientUint64 measures the steady-state per-draw cost over
+// a local server — the ring's fast path: a buffer index bump under a
+// mutex, with refills off the critical path.
+func BenchmarkClientUint64(b *testing.B) {
+	_, ts := newRanddServer(b)
+	cl := newTestClient(b, Options{Endpoints: []string{ts.URL}})
+	if _, err := cl.Uint64(); err != nil { // prime the ring
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Uint64(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cl.Stats().Stalls), "stalls")
+}
+
+// BenchmarkClientFill measures bulk draws: one lock round per dst
+// block copy instead of per word.
+func BenchmarkClientFill(b *testing.B) {
+	_, ts := newRanddServer(b)
+	cl := newTestClient(b, Options{Endpoints: []string{ts.URL}})
+	dst := make([]uint64, 1024)
+	if err := cl.Fill(dst); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(dst) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Fill(dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPrefetchHidesRTT is the acceptance bar for the prefetch ring:
+// against a server 5ms away, steady-state p99 draw latency must sit
+// far below the round-trip time, because the next block is already in
+// flight while the current one drains — the paper's TRANSFER/GENERATE
+// overlap, moved onto the network.
+func TestPrefetchHidesRTT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency-distribution test; skipped in -short")
+	}
+	const rtt = 5 * time.Millisecond
+	_, origin := newRanddServer(t)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(rtt)
+		resp, err := http.Get(origin.URL + r.URL.String())
+		if err != nil {
+			w.WriteHeader(http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 64*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	defer slow.Close()
+
+	const blockWords = 1 << 15 // ~262 KiB blocks: drain time >> RTT
+	cl := newTestClient(t, Options{
+		Endpoints:     []string{slow.URL},
+		BlockWords:    blockWords,
+		MinBlockWords: blockWords,
+		MaxBlockWords: blockWords,
+	})
+	// Warm up past the cold start: first block fetch plus one refill
+	// cycle so the ring is in steady state.
+	warm := make([]uint64, 2*blockWords)
+	if err := cl.Fill(warm); err != nil {
+		t.Fatal(err)
+	}
+
+	const draws = 100_000
+	lat := make([]time.Duration, draws)
+	for i := range lat {
+		start := time.Now()
+		if _, err := cl.Uint64(); err != nil {
+			t.Fatal(err)
+		}
+		lat[i] = time.Since(start)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50, p99, max := lat[draws/2], lat[draws*99/100], lat[draws-1]
+	t.Logf("steady-state draw latency over %v-RTT link: p50=%v p99=%v max=%v (stats %+v)",
+		rtt, p50, p99, max, cl.Stats())
+	if p99 >= time.Millisecond {
+		t.Errorf("p99 draw latency %v is not ≪ the %v RTT — prefetch is not hiding the network", p99, rtt)
+	}
+}

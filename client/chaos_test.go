@@ -1,0 +1,190 @@
+package client
+
+import (
+	"encoding/binary"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	hybridprng "repro"
+	"repro/internal/chaos"
+	"repro/internal/server"
+)
+
+// TestChaosFailover drives the client against a randd whose feeds
+// are corrupted by an aggressive internal/chaos schedule (shards
+// trip through the real SP 800-90B path, the pool degrades and goes
+// unhealthy) next to a clean sibling. The client must absorb the
+// whole failure sequence — degraded hints, 503s, connection-level
+// errors — without a single failed draw.
+func TestChaosFailover(t *testing.T) {
+	chaotic, err := hybridprng.NewPool(
+		hybridprng.WithSeed(11),
+		hybridprng.WithShards(2),
+		hybridprng.WithHealthMonitoring(4),
+		hybridprng.WithFeedWrapper(chaos.Wrapper(chaos.Config{
+			Seed:       99,
+			MeanPeriod: 128, // fault within the first blocks
+			MeanLen:    256,
+			Kinds:      []chaos.Kind{chaos.Stuck, chaos.Bias},
+		})),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA, err := server.New(chaotic, server.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsA := httptest.NewServer(srvA.Handler())
+	defer tsA.Close()
+	_, tsB := newRanddServer(t, hybridprng.WithSeed(12), hybridprng.WithShards(2))
+
+	cl := newTestClient(t, Options{
+		Endpoints:     []string{tsA.URL, tsB.URL},
+		BlockWords:    4096,
+		MinBlockWords: 4096,
+		MaxBlockWords: 4096,
+		BackoffBase:   10 * time.Millisecond,
+		BackoffMax:    50 * time.Millisecond,
+	})
+
+	dst := make([]uint64, 2048)
+	for drawn := 0; drawn < 200_000; drawn += len(dst) {
+		if err := cl.Fill(dst); err != nil {
+			t.Fatalf("Fill after %d draws: %v (stats %+v)", drawn, err, cl.Stats())
+		}
+	}
+	st := cl.Stats()
+	t.Logf("chaos run stats: %+v", st)
+	t.Logf("chaotic pool: %+v", chaotic.Stats())
+	// The chaos schedule must actually have bitten — the pool tripped
+	// — and the client must have reacted to A (passive failure marks
+	// and/or the degraded hint steering traffic to B).
+	if chaotic.Stats().HealthTrips == 0 {
+		t.Fatal("chaos schedule never tripped a shard; test proves nothing")
+	}
+	reacted := st.Endpoints[0].Failures > 0 || st.Endpoints[0].Degraded || st.Failovers > 0
+	if !reacted {
+		t.Errorf("client never reacted to the chaotic endpoint; stats %+v", st)
+	}
+}
+
+// TestRetryAfterHonored: a shedding server's Retry-After is a
+// promise the client keeps — under continuous draw pressure against
+// an always-429 endpoint it must not hammer: at most one draw
+// attempt per Retry-After window.
+func TestRetryAfterHonored(t *testing.T) {
+	var bytesHits atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/bytes", func(w http.ResponseWriter, r *http.Request) {
+		bytesHits.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at capacity", http.StatusTooManyRequests)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	cl := newTestClient(t, Options{
+		Endpoints:   []string{ts.URL},
+		BackoffBase: 20 * time.Millisecond,
+		MaxStall:    1200 * time.Millisecond,
+	})
+	start := time.Now()
+	_, err := cl.Uint64()
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("draw against an always-429 fleet succeeded")
+	}
+	if elapsed < 900*time.Millisecond {
+		t.Errorf("draw failed after %v, should have kept retrying ~MaxStall", elapsed)
+	}
+	// t=0 and t≈1s are legitimate attempts; anything much beyond
+	// that within ~1.2s is hammering in defiance of Retry-After.
+	if n := bytesHits.Load(); n > 3 {
+		t.Errorf("%d /bytes attempts in %v against Retry-After: 1 — hammering", n, elapsed)
+	}
+	if st := cl.Stats(); st.Sheds429 == 0 {
+		t.Errorf("no 429 recorded; stats %+v", st)
+	}
+}
+
+// TestNoTornWords: a server that truncates every response mid-word
+// must never cause the client to emit a word that the server did not
+// produce — the aligned prefix is kept, the torn tail discarded, and
+// every drawn word appears verbatim in the server's true stream.
+func TestNoTornWords(t *testing.T) {
+	const trunc = 3 // bytes cut from every response
+	pool, err := hybridprng.NewPool(hybridprng.WithSeed(9), hybridprng.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/bytes", func(w http.ResponseWriter, r *http.Request) {
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		words := make([]uint64, n/8)
+		if err := pool.Fill(words); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		raw := make([]byte, len(words)*8)
+		for i, v := range words {
+			binary.LittleEndian.PutUint64(raw[8*i:], v)
+		}
+		// Promise n bytes, deliver n-trunc: the client sees an
+		// unexpected EOF with a partial trailing word.
+		w.Header().Set("Content-Length", strconv.Itoa(n))
+		w.Write(raw[:len(raw)-trunc])
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	// The reference stream: an identical pool drained the same way
+	// (512-word fills, matching the handler above).
+	ref, err := hybridprng.NewPool(hybridprng.WithSeed(9), hybridprng.WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inStream := make(map[uint64]bool, 1<<16)
+	buf := make([]uint64, 512)
+	for i := 0; i < 128; i++ {
+		if err := ref.Fill(buf); err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range buf {
+			inStream[v] = true
+		}
+	}
+
+	cl := newTestClient(t, Options{
+		Endpoints:     []string{ts.URL},
+		BlockWords:    512,
+		MinBlockWords: 512,
+		MaxBlockWords: 512,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    5 * time.Millisecond,
+	})
+	for i := 0; i < 4000; i++ {
+		v, err := cl.Uint64()
+		if err != nil {
+			t.Fatalf("draw %d: %v", i, err)
+		}
+		if !inStream[v] {
+			t.Fatalf("draw %d = %#x is not a word the server produced — torn word", i, v)
+		}
+	}
+	st := cl.Stats()
+	if st.DiscardedBytes == 0 {
+		t.Errorf("no discarded bytes despite %d-byte truncations; stats %+v", trunc, st)
+	}
+	t.Logf("torn-word run stats: %+v", st)
+}

@@ -1,0 +1,223 @@
+package client
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// endpoint is one randd server as the client sees it. All mutable
+// fields are guarded by endpointSet.mu — endpoint selection runs
+// once per block, not per draw, so a single lock is never hot.
+type endpoint struct {
+	base  string // normalised base URL, no trailing slash
+	index int
+
+	fails        uint32 // consecutive failures (0 = trusted)
+	failures     uint64 // cumulative failures
+	until        time.Time
+	degraded     bool   // last response carried X-Pool-Degraded
+	epoch        string // last X-Randd-Epoch seen
+	epochChanges uint64
+}
+
+// endpointSet is the failover brain: round-robin selection over the
+// fleet, skipping endpoints inside their backoff window, preferring
+// non-degraded ones, and deriving deterministic jitter so a
+// fixed-seed client retries on a reproducible timeline.
+type endpointSet struct {
+	mu  sync.Mutex
+	eps []*endpoint
+	rr  int
+
+	seed   uint64
+	base   time.Duration
+	max    time.Duration
+	jitter float64
+}
+
+func newEndpointSet(opts Options) (*endpointSet, error) {
+	s := &endpointSet{
+		seed:   opts.Seed,
+		base:   opts.BackoffBase,
+		max:    opts.BackoffMax,
+		jitter: opts.JitterFrac,
+	}
+	for i, raw := range opts.Endpoints {
+		u, err := url.Parse(strings.TrimRight(raw, "/"))
+		if err != nil {
+			return nil, fmt.Errorf("client: endpoint %q: %w", raw, err)
+		}
+		if u.Scheme != "http" && u.Scheme != "https" {
+			return nil, fmt.Errorf("client: endpoint %q: need an http(s) base URL", raw)
+		}
+		if u.Host == "" {
+			return nil, fmt.Errorf("client: endpoint %q: missing host", raw)
+		}
+		s.eps = append(s.eps, &endpoint{base: u.String(), index: i})
+	}
+	return s, nil
+}
+
+// pick returns the next endpoint eligible for a fetch, rotating
+// round-robin so a multi-endpoint fleet shares load. Endpoints
+// inside a backoff window are skipped; among the eligible, a
+// non-degraded endpoint beats a degraded one (the X-Pool-Degraded
+// hint steering traffic away from self-healing pools). When every
+// endpoint is backing off, pick returns nil and the shortest wait
+// until one becomes eligible — the caller sleeps, it never hammers.
+func (s *endpointSet) pick(now time.Time) (*endpoint, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.eps)
+	var fallback *endpoint
+	for i := 0; i < n; i++ {
+		ep := s.eps[(s.rr+i)%n]
+		if now.Before(ep.until) {
+			continue
+		}
+		if ep.degraded {
+			if fallback == nil {
+				fallback = ep
+			}
+			continue
+		}
+		s.rr = (s.rr + i + 1) % n
+		return ep, 0
+	}
+	if fallback != nil {
+		s.rr = (fallback.index + 1) % n
+		return fallback, 0
+	}
+	wait := time.Duration(-1)
+	for _, ep := range s.eps {
+		if d := ep.until.Sub(now); wait < 0 || d < wait {
+			wait = d
+		}
+	}
+	return nil, wait
+}
+
+// pickOther returns an eligible endpoint different from not (for
+// hedging); degraded endpoints are acceptable — a hedge is already a
+// latency bet.
+func (s *endpointSet) pickOther(not *endpoint, now time.Time) *endpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.eps)
+	for i := 0; i < n; i++ {
+		ep := s.eps[(s.rr+i)%n]
+		if ep == not || now.Before(ep.until) {
+			continue
+		}
+		return ep
+	}
+	return nil
+}
+
+// suspect reports whether the endpoint has unresolved failures and
+// must pass a /healthz probe before carrying draw traffic again.
+func (s *endpointSet) suspect(ep *endpoint) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ep.fails > 0
+}
+
+// ok records a successful draw response and folds in the
+// cooperation headers: the degraded hint and the stream-token epoch
+// (an epoch change means the server restarted).
+func (s *endpointSet) ok(ep *endpoint, h http.Header) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep.fails = 0
+	ep.until = time.Time{}
+	ep.degraded = h.Get("X-Pool-Degraded") == "true"
+	if e := h.Get("X-Randd-Epoch"); e != "" {
+		if ep.epoch != "" && ep.epoch != e {
+			ep.epochChanges++
+		}
+		ep.epoch = e
+	}
+}
+
+// fail records a failed request and arms the endpoint's backoff:
+// exponential in the consecutive-failure count, deterministically
+// jittered, capped at BackoffMax — and never shorter than a server's
+// explicit Retry-After, which is a promise we keep.
+func (s *endpointSet) fail(ep *endpoint, retryAfter time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ep.fails++
+	ep.failures++
+	d := float64(s.base)
+	for i := uint32(1); i < ep.fails && d < float64(s.max); i++ {
+		d *= 2
+	}
+	if d > float64(s.max) {
+		d = float64(s.max)
+	}
+	if s.jitter > 0 {
+		u := float64(mix64(s.seed^(uint64(ep.index)+1)*0x9E3779B97F4A7C15^uint64(ep.fails))) / (1 << 64)
+		d *= 1 + s.jitter*(2*u-1)
+	}
+	backoff := time.Duration(d)
+	if retryAfter > backoff {
+		backoff = retryAfter
+	}
+	ep.until = time.Now().Add(backoff)
+}
+
+// stats snapshots every endpoint and the total epoch-change count.
+func (s *endpointSet) stats(now time.Time) ([]EndpointStats, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EndpointStats, len(s.eps))
+	var epochChanges uint64
+	for i, ep := range s.eps {
+		es := EndpointStats{
+			URL:      ep.base,
+			Healthy:  !now.Before(ep.until) && ep.fails == 0,
+			Degraded: ep.degraded,
+			Failures: ep.failures,
+			Epoch:    ep.epoch,
+		}
+		if d := ep.until.Sub(now); d > 0 {
+			es.RetryIn = d
+		}
+		epochChanges += ep.epochChanges
+		out[i] = es
+	}
+	return out, epochChanges
+}
+
+// parseRetryAfter reads a Retry-After header as delay seconds or an
+// HTTP date; 0 means absent or unparseable.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// mix64 is the SplitMix64 finalizer — the same bijection the pool
+// uses for its deterministic jitter.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ z>>31
+}

@@ -1,0 +1,201 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// fetchBlock obtains one block of words*8 random bytes from the
+// fleet, failing over between endpoints until it succeeds or makes
+// no progress for MaxStall. Waits between attempts come from the
+// endpoint set's backoff bookkeeping — Retry-After and exponential
+// backoff are both honoured here, so a struggling fleet is probed,
+// never hammered.
+func (c *Client) fetchBlock(words int) ([]byte, *endpoint, error) {
+	deadline := time.Now().Add(c.opts.MaxStall)
+	var lastErr error
+	for {
+		if err := c.ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		ep, wait := c.eps.pick(time.Now())
+		if ep == nil {
+			if time.Now().After(deadline) {
+				if lastErr == nil {
+					lastErr = fmt.Errorf("client: no endpoint available within %v", c.opts.MaxStall)
+				}
+				return nil, nil, lastErr
+			}
+			if wait <= 0 {
+				wait = 10 * time.Millisecond
+			}
+			if until := time.Until(deadline); wait > until {
+				wait = until + time.Millisecond
+			}
+			select {
+			case <-time.After(wait):
+			case <-c.ctx.Done():
+				return nil, nil, c.ctx.Err()
+			}
+			continue
+		}
+		b, err := c.fetchOnce(ep, words)
+		if err == nil {
+			return b, ep, nil
+		}
+		lastErr = err
+		c.retries.Add(1)
+		if time.Now().After(deadline) {
+			return nil, nil, lastErr
+		}
+	}
+}
+
+// fetchOnce runs a single attempt against ep: a /healthz probe first
+// when the endpoint is coming back from failures (active health
+// checking — don't route draws to a server that says it is down),
+// then the block fetch itself, hedged when configured.
+func (c *Client) fetchOnce(ep *endpoint, words int) ([]byte, error) {
+	if c.eps.suspect(ep) {
+		if err := c.probe(ep); err != nil {
+			c.eps.fail(ep, 0)
+			return nil, err
+		}
+	}
+	if c.opts.HedgeDelay > 0 {
+		return c.fetchHedged(ep, words)
+	}
+	return c.fetchBytes(c.ctx, ep, words)
+}
+
+// probe asks ep's /healthz whether it is serving. "degraded" counts
+// as serving — that is exactly what the state means.
+func (c *Client) probe(ep *endpoint) error {
+	ctx, cancel := context.WithTimeout(c.ctx, DefaultProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: probe %s: %w", ep.base, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: %s/healthz: %s", ep.base, resp.Status)
+	}
+	return nil
+}
+
+// fetchHedged races the primary fetch against a second endpoint
+// started after HedgeDelay: first success wins, the loser is
+// cancelled. Tail latency becomes min(two samples) at the cost of
+// occasional duplicate work — the standard hedging trade.
+func (c *Client) fetchHedged(primary *endpoint, words int) ([]byte, error) {
+	ctx, cancel := context.WithCancel(c.ctx)
+	defer cancel()
+	type result struct {
+		b   []byte
+		ep  *endpoint
+		err error
+	}
+	ch := make(chan result, 2)
+	launch := func(ep *endpoint) {
+		go func() {
+			b, err := c.fetchBytes(ctx, ep, words)
+			ch <- result{b, ep, err}
+		}()
+	}
+	launch(primary)
+	inFlight := 1
+	hedged := false
+	timer := time.NewTimer(c.opts.HedgeDelay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			inFlight--
+			if r.err == nil {
+				if hedged && r.ep != primary {
+					c.hedgeWins.Add(1)
+				}
+				return r.b, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if inFlight == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			if ep2 := c.eps.pickOther(primary, time.Now()); ep2 != nil {
+				hedged = true
+				c.hedges.Add(1)
+				inFlight++
+				launch(ep2)
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// fetchBytes performs one GET /bytes against ep and returns the
+// word-aligned prefix of the body. Endpoint health bookkeeping
+// happens here: 429 arms the Retry-After backoff, other failures arm
+// the exponential one, success clears it and records the
+// cooperation headers. A truncated body is both: its whole words are
+// valid served randomness (kept), but the endpoint clearly struggled
+// mid-response (marked failed), and the partial trailing word is
+// dropped — it must never be stitched to the next block.
+func (c *Client) fetchBytes(ctx context.Context, ep *endpoint, words int) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.base+"/bytes?n="+strconv.Itoa(words*8), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		c.eps.fail(ep, 0)
+		return nil, fmt.Errorf("client: %s/bytes: %w", ep.base, err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests:
+		c.sheds.Add(1)
+		c.eps.fail(ep, parseRetryAfter(resp.Header))
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("client: %s shed the request (429)", ep.base)
+	default:
+		c.eps.fail(ep, 0)
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return nil, fmt.Errorf("client: %s/bytes: %s", ep.base, resp.Status)
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	usable := len(body) - len(body)%8
+	if usable == 0 {
+		c.eps.fail(ep, 0)
+		if readErr != nil {
+			return nil, fmt.Errorf("client: %s/bytes body: %w", ep.base, readErr)
+		}
+		return nil, fmt.Errorf("client: %s/bytes: empty block", ep.base)
+	}
+	if readErr != nil || len(body) != words*8 {
+		// Truncated: keep the aligned prefix, drop the torn tail,
+		// and treat the endpoint as failing.
+		c.discarded.Add(uint64(len(body) - usable))
+		c.eps.fail(ep, 0)
+		return body[:usable], nil
+	}
+	c.eps.ok(ep, resp.Header)
+	return body, nil
+}

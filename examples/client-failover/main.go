@@ -1,0 +1,104 @@
+// Client failover demo: a two-server randd fleet, a client drawing
+// through the prefetch ring, and one server killed mid-run the hard
+// way — listener closed, in-flight connections torn down. The client
+// notices, backs off the dead endpoint, and keeps serving draws from
+// the survivor; the consumer never sees a failed draw.
+//
+//	go run ./examples/client-failover
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	hybridprng "repro"
+	"repro/client"
+	"repro/internal/server"
+)
+
+// serve boots an in-process randd on a loopback port and returns its
+// base URL plus a kill switch that drops the server abruptly (no
+// graceful drain — the network view of a SIGKILL).
+func serve(seed uint64) (url string, kill func(), err error) {
+	pool, err := hybridprng.NewPool(
+		hybridprng.WithSeed(seed),
+		hybridprng.WithShards(2),
+		hybridprng.WithHealthMonitoring(4),
+	)
+	if err != nil {
+		return "", nil, err
+	}
+	srv, err := server.New(pool, server.Options{})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { hs.Close() }, nil
+}
+
+func main() {
+	urlA, killA, err := serve(1)
+	if err != nil {
+		panic(err)
+	}
+	defer killA()
+	urlB, killB, err := serve(2)
+	if err != nil {
+		panic(err)
+	}
+	defer killB()
+	fmt.Printf("fleet:  A %s\n        B %s\n", urlA, urlB)
+
+	cl, err := client.New(client.Options{
+		Endpoints:   []string{urlA, urlB},
+		BackoffBase: 25 * time.Millisecond,
+		BackoffMax:  250 * time.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cl.Close()
+
+	// Draw continuously for ~2s; kill A at ~700ms. Every draw must
+	// succeed — the ring and the failover logic absorb the outage.
+	deadline := time.Now().Add(2 * time.Second)
+	killAt := time.Now().Add(700 * time.Millisecond)
+	killed := false
+	var draws, failed uint64
+	var sample uint64
+	for time.Now().Before(deadline) {
+		if !killed && time.Now().After(killAt) {
+			fmt.Printf("t=+700ms: killing server A (%d draws so far)\n", draws)
+			killA()
+			killed = true
+		}
+		v, err := cl.Uint64()
+		if err != nil {
+			failed++
+			fmt.Printf("draw failed: %v\n", err)
+			continue
+		}
+		sample = v
+		draws++
+	}
+
+	st := cl.Stats()
+	fmt.Printf("t=+2s:    %d draws, %d failed (last word %#016x)\n", draws, failed, sample)
+	fmt.Printf("client:   %d blocks, %d retries, %d failovers\n", st.Blocks, st.Retries, st.Failovers)
+	for _, ep := range st.Endpoints {
+		fmt.Printf("endpoint: %-28s healthy=%-5v failures=%d\n", ep.URL, ep.Healthy, ep.Failures)
+	}
+	if failed > 0 || draws == 0 {
+		fmt.Println("FAILOVER DEMO FAILED: draws were lost")
+		os.Exit(1)
+	}
+	fmt.Println("no draw failed across the kill — the fleet is one generator")
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	hybridprng "repro"
+)
+
+// TestDrawResponseHeaders: every draw endpoint must carry the
+// client-cooperation headers — explicit Content-Type, the ETag-style
+// stream token, and (for single-chunk /u64 and all of /bytes) an
+// exact Content-Length — so SDKs can react without a second request.
+func TestDrawResponseHeaders(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/bytes?n=1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("/bytes Content-Type = %q", ct)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != "1024" {
+		t.Errorf("/bytes Content-Length = %q, want 1024", cl)
+	}
+	epoch := resp.Header.Get("X-Randd-Epoch")
+	if len(epoch) != 16 {
+		t.Errorf("/bytes X-Randd-Epoch = %q, want 16 hex chars", epoch)
+	}
+	etag := resp.Header.Get("ETag")
+	if !strings.HasPrefix(etag, `"`+epoch+"-") || !strings.HasSuffix(etag, `"`) {
+		t.Errorf("ETag %q does not carry the epoch token %q", etag, epoch)
+	}
+	if d := resp.Header.Get("X-Pool-Degraded"); d != "" {
+		t.Errorf("healthy pool stamped X-Pool-Degraded=%q", d)
+	}
+
+	// Single-chunk /u64 is fully buffered: exact Content-Length.
+	resp2, err := http.Get(ts.URL + "/u64?n=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if ct := resp2.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/u64 Content-Type = %q", ct)
+	}
+	cl, err := strconv.Atoi(resp2.Header.Get("Content-Length"))
+	if err != nil {
+		t.Fatalf("/u64 Content-Length %q: %v", resp2.Header.Get("Content-Length"), err)
+	}
+	body := make([]byte, cl+1)
+	n, _ := io.ReadFull(resp2.Body, body)
+	if n != cl {
+		t.Errorf("/u64 body %d bytes, Content-Length %d", n, cl)
+	}
+	if lines := strings.Count(string(body[:n]), "\n"); lines != 100 {
+		t.Errorf("/u64 body has %d lines, want 100", lines)
+	}
+	if e2 := resp2.Header.Get("X-Randd-Epoch"); e2 != epoch {
+		t.Errorf("epoch differs across endpoints: %q vs %q", e2, epoch)
+	}
+
+	// The stream-token offset only ever grows: randomness is never
+	// replayed, and the token lets a client verify that.
+	off1 := etagOffset(t, etag)
+	resp3, err := http.Get(ts.URL + "/bytes?n=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if off2 := etagOffset(t, resp3.Header.Get("ETag")); off2 <= off1 {
+		t.Errorf("stream token offset did not grow: %d then %d", off1, off2)
+	}
+}
+
+func etagOffset(t *testing.T, etag string) int64 {
+	t.Helper()
+	trimmed := strings.Trim(etag, `"`)
+	i := strings.LastIndexByte(trimmed, '-')
+	if i < 0 {
+		t.Fatalf("malformed stream token %q", etag)
+	}
+	off, err := strconv.ParseInt(trimmed[i+1:], 10, 64)
+	if err != nil {
+		t.Fatalf("malformed stream token %q: %v", etag, err)
+	}
+	return off
+}
+
+// TestDegradedHeader: once a shard trips, draw responses must warn
+// cooperating clients via X-Pool-Degraded while the pool still
+// serves.
+func TestDegradedHeader(t *testing.T) {
+	pool, ts := newTestServer(t)
+	if err := pool.InjectFault(0); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/bytes?n=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded pool /bytes status %d", resp.StatusCode)
+	}
+	if d := resp.Header.Get("X-Pool-Degraded"); d != "true" {
+		t.Errorf("X-Pool-Degraded = %q, want \"true\"", d)
+	}
+}
+
+// TestServeU64LargeStillStreams: requests past the single-chunk
+// buffering threshold keep the old chunked path and stay correct.
+func TestServeU64LargeStillStreams(t *testing.T) {
+	_, ts := newTestServer(t)
+	want := chunkWords + 17
+	code, body := get(t, ts.URL+fmt.Sprintf("/u64?n=%d", want))
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	sc := bufio.NewScanner(strings.NewReader(string(body)))
+	sc.Buffer(make([]byte, 1<<16), 1<<16)
+	lines := 0
+	for sc.Scan() {
+		if _, err := strconv.ParseUint(sc.Text(), 10, 64); err != nil {
+			t.Fatalf("line %d %q: %v", lines, sc.Text(), err)
+		}
+		lines++
+	}
+	if lines != want {
+		t.Fatalf("got %d lines, want %d", lines, want)
+	}
+}
+
+// TestStreamWriteDeadline: a /stream client that connects and then
+// never reads must be disconnected once a chunk write stalls past
+// StreamWriteTimeout, releasing its in-flight slot (observable via
+// the timeouts counter).
+func TestStreamWriteDeadline(t *testing.T) {
+	pool, err := hybridprng.NewPool(
+		hybridprng.WithSeed(1),
+		hybridprng.WithShards(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pool, Options{StreamWriteTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A raw request we never read the response of: the server keeps
+	// writing until the TCP buffers fill, then the chunk write blocks
+	// and the deadline fires.
+	fmt.Fprintf(conn, "GET /stream HTTP/1.1\r\nHost: test\r\n\r\n")
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.timeouts.Value() > 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("stalled /stream client never hit the write deadline (timeouts=%d)", srv.timeouts.Value())
+}

@@ -20,6 +20,28 @@
 // All draw endpoints pull through the pool's batched Fill path, so
 // one HTTP request amortises shard locks over thousands of words.
 //
+// # Response headers for cooperating clients
+//
+// Draw responses carry enough metadata that an SDK (package client)
+// can react without a second round trip. /bytes always sets
+// Content-Type and Content-Length; /u64 does too when the request
+// fits one chunk (n ≤ 8192 — the common SDK case; larger responses
+// stream chunked). X-Pool-Degraded: true is stamped whenever /healthz
+// would answer "degraded" (some shards down, pool still serving), so
+// a client can start preferring healthier endpoints before anything
+// fails. Every draw response also carries an ETag-style stream token,
+//
+//	ETag: "<epoch>-<words-served>"    (also X-Randd-Epoch: <epoch>)
+//
+// where epoch is a random per-boot identifier (stable across one
+// process lifetime, different after any restart) and words-served is
+// the monotone count of words this instance has served. The token is
+// a resume validator in the ETag sense: a client that reconnects and
+// sees the same epoch knows it is talking to the same pool instance
+// and its streams continued exactly (the offset only ever grows —
+// randomness is never replayed); a changed epoch means a restart, so
+// any client-side assumptions tied to the old instance are void.
+//
 // # Overload protection
 //
 // Every handler runs behind a middleware chain. Panic recovery turns
@@ -34,7 +56,10 @@
 // per-request deadline (Options.RequestTimeout); a request that
 // cannot finish in time is truncated (or 503'd when nothing has been
 // written) instead of holding its connection indefinitely. /stream
-// is exempt — it is unbounded by design.
+// is exempt from the request deadline — it is unbounded by design —
+// but each chunk write carries an idle-write deadline
+// (Options.StreamWriteTimeout): a client that stops reading loses
+// the connection instead of pinning an in-flight slot forever.
 //
 // # Exact resume
 //
@@ -53,8 +78,11 @@ package server
 
 import (
 	"context"
+	crand "crypto/rand"
 	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -81,6 +109,11 @@ const DefaultMaxInFlight = 256
 // /bytes: generous against the word cap, but finite.
 const DefaultRequestTimeout = 30 * time.Second
 
+// DefaultStreamWriteTimeout is the per-chunk write deadline on
+// /stream: a client that stops reading for this long loses its
+// connection instead of pinning an in-flight slot forever.
+const DefaultStreamWriteTimeout = time.Minute
+
 // chunkWords is the scratch-buffer size the handlers fill per
 // iteration: big enough to amortise pool and syscall overhead, small
 // enough to stay cache-resident.
@@ -95,6 +128,8 @@ type Server struct {
 	mux         *http.ServeMux
 	maxInFlight int64
 	reqTimeout  time.Duration
+	streamWrite time.Duration
+	epoch       string // per-boot stream-token identifier
 	inFlight    atomic.Int64
 
 	metrics  *expvar.Map
@@ -129,6 +164,12 @@ type Options struct {
 	// RequestTimeout is the per-request deadline on /u64 and /bytes.
 	// 0 means DefaultRequestTimeout; negative disables deadlines.
 	RequestTimeout time.Duration
+	// StreamWriteTimeout is the idle-write deadline applied to each
+	// /stream chunk: a stalled client that stops reading is
+	// disconnected once a single write blocks this long, freeing its
+	// in-flight slot. 0 means DefaultStreamWriteTimeout; negative
+	// disables the deadline.
+	StreamWriteTimeout time.Duration
 }
 
 // New builds a Server over pool.
@@ -148,12 +189,18 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	if reqTimeout == 0 {
 		reqTimeout = DefaultRequestTimeout
 	}
+	streamWrite := opts.StreamWriteTimeout
+	if streamWrite == 0 {
+		streamWrite = DefaultStreamWriteTimeout
+	}
 	s := &Server{
 		pool:        pool,
 		maxWords:    maxWords,
 		statePath:   opts.StatePath,
 		maxInFlight: maxInFlight,
 		reqTimeout:  reqTimeout,
+		streamWrite: streamWrite,
+		epoch:       newEpoch(),
 		requests:    new(expvar.Int),
 		reqErrs:     new(expvar.Int),
 		words:       new(expvar.Int),
@@ -368,18 +415,66 @@ func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 	http.Error(w, msg, code)
 }
 
-// serveU64 streams n decimal uint64s, one per line.
+// newEpoch draws the per-boot stream-token identifier. It is
+// deliberately not taken from the pool (that would consume words and
+// perturb exact-resume continuity) and needs no determinism — it only
+// has to differ between process lifetimes.
+func newEpoch() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// setDrawHeaders stamps the client-cooperation headers on a draw
+// response: the ETag-style stream token (epoch + words served so far)
+// and the degraded hint mirroring what /healthz would say right now.
+// Must be called before the first body write.
+func (s *Server) setDrawHeaders(w http.ResponseWriter) {
+	h := w.Header()
+	h.Set("X-Randd-Epoch", s.epoch)
+	h.Set("ETag", `"`+s.epoch+"-"+strconv.FormatInt(s.words.Value(), 10)+`"`)
+	if healthy, total := s.pool.Health(); healthy > 0 && healthy < total {
+		h.Set("X-Pool-Degraded", "true")
+	}
+}
+
+// serveU64 streams n decimal uint64s, one per line. Single-chunk
+// requests (n ≤ chunkWords, the common SDK case) are fully buffered
+// so the response carries an exact Content-Length; larger requests
+// stream chunked as before.
 func (s *Server) serveU64(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	n, ok := s.countWords(w, r, "n", s.maxWords)
 	if !ok {
 		return
 	}
+	s.setDrawHeaders(w)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	ctx := r.Context()
 	var scratch [chunkWords]uint64
 	// One reusable text buffer: 20 digits + newline per word.
 	out := make([]byte, 0, chunkWords*21)
+	if n <= chunkWords {
+		if s.expired(w, ctx, false) {
+			return
+		}
+		if err := s.pool.Fill(scratch[:n]); err != nil {
+			s.unhealthy(w, err, false)
+			return
+		}
+		for _, v := range scratch[:n] {
+			out = strconv.AppendUint(out, v, 10)
+			out = append(out, '\n')
+		}
+		w.Header().Set("Content-Length", strconv.Itoa(len(out)))
+		if _, err := w.Write(out); err != nil {
+			return
+		}
+		s.words.Add(int64(n))
+		return
+	}
 	wrote := false
 	for n > 0 {
 		if s.expired(w, ctx, wrote) {
@@ -425,6 +520,7 @@ func (s *Server) serveBytes(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	s.setDrawHeaders(w)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatUint(n, 10))
 	ctx := r.Context()
@@ -468,8 +564,10 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("words") == "" {
 		limit = 1 << 62 // effectively unbounded; the client hangs up
 	}
+	s.setDrawHeaders(w)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	flusher, _ := w.(http.Flusher)
+	rc := http.NewResponseController(w)
 	ctx := r.Context()
 	var scratch [chunkWords]uint64
 	var raw [chunkWords * 8]byte
@@ -491,7 +589,20 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 		for i, v := range scratch[:batch] {
 			binary.LittleEndian.PutUint64(raw[8*i:], v)
 		}
+		// Idle-write deadline: /stream is exempt from the request
+		// timeout by design, but a client that stops *reading* must
+		// not pin an in-flight slot forever. The deadline is re-armed
+		// per chunk, so it bounds stall time, not stream length.
+		// SetWriteDeadline errors (unsupported writer, e.g. a test
+		// recorder) downgrade to the old no-deadline behaviour.
+		if s.streamWrite > 0 {
+			_ = rc.SetWriteDeadline(time.Now().Add(s.streamWrite))
+		}
 		if _, err := w.Write(raw[:batch*8]); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				s.timeouts.Add(1)
+				s.reqErrs.Add(1)
+			}
 			return
 		}
 		wrote = true

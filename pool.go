@@ -734,6 +734,19 @@ func (p *Pool) healthyShards() []*poolShard {
 // Shards returns the shard count (always a power of two).
 func (p *Pool) Shards() int { return len(p.shards) }
 
+// Health cheaply reports how many shards are currently serving out of
+// the total — one atomic load per shard, no locks — so per-request
+// paths (the server stamps X-Pool-Degraded on every draw response)
+// can consult pool health without paying for a full Stats snapshot.
+func (p *Pool) Health() (healthy, total int) {
+	for _, s := range p.shards {
+		if shardState(s.state.Load()) == shardHealthy {
+			healthy++
+		}
+	}
+	return healthy, len(p.shards)
+}
+
 // HealthErr returns the first out-of-service shard's failure, or nil
 // while every shard is healthy. A non-nil result with healthy shards
 // remaining means the pool is degraded but still serving; Stats
