@@ -1,0 +1,32 @@
+# Developer convenience targets. CI (.github/workflows/ci.yml) runs
+# the same commands; keep the two in sync.
+
+GOPATH_BIN := $(shell go env GOPATH)/bin
+
+.PHONY: build test race lint lint-vet fmt check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race -short -shuffle=on ./...
+
+## lint: run the hybridlint analyzer suite standalone (fast loop).
+lint:
+	go run ./cmd/hybridlint ./...
+
+## lint-vet: the exact CI invocation — hybridlint under go vet's
+## unit-checker protocol.
+lint-vet:
+	go install ./cmd/hybridlint
+	go vet -vettool="$(GOPATH_BIN)/hybridlint" ./...
+
+fmt:
+	gofmt -l .
+
+## check: everything a merge gate checks that runs offline.
+check: build lint test race
+	test -z "$$(gofmt -l .)"

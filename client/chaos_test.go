@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -76,7 +77,9 @@ func TestChaosFailover(t *testing.T) {
 // TestRetryAfterHonored: a shedding server's Retry-After is a
 // promise the client keeps — under continuous draw pressure against
 // an always-429 endpoint it must not hammer: at most one draw
-// attempt per Retry-After window.
+// attempt per Retry-After window. The whole timeline runs on a fake
+// clock — a virtual MaxStall of 1.2s elapses in milliseconds of real
+// time — so the test asserts the backoff *schedule*, not sleeps.
 func TestRetryAfterHonored(t *testing.T) {
 	var bytesHits atomic.Int64
 	mux := http.NewServeMux()
@@ -91,24 +94,49 @@ func TestRetryAfterHonored(t *testing.T) {
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
 
+	fc := newFakeClock()
 	cl := newTestClient(t, Options{
 		Endpoints:   []string{ts.URL},
 		BackoffBase: 20 * time.Millisecond,
 		MaxStall:    1200 * time.Millisecond,
+		Clock:       fc.Now,
+		after:       fc.After,
 	})
-	start := time.Now()
+	// Drive the virtual clock until the draw gives up. Small steps
+	// with real yields in between let the refill goroutine observe
+	// each backoff window.
+	stopDriving := make(chan struct{})
+	var driverDone sync.WaitGroup
+	driverDone.Add(1)
+	go func() {
+		defer driverDone.Done()
+		for {
+			select {
+			case <-stopDriving:
+				return
+			default:
+				fc.Advance(5 * time.Millisecond)
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+	virtStart := fc.Now()
 	_, err := cl.Uint64()
-	elapsed := time.Since(start)
+	virtElapsed := fc.Now().Sub(virtStart)
+	close(stopDriving)
+	driverDone.Wait()
 	if err == nil {
 		t.Fatal("draw against an always-429 fleet succeeded")
 	}
-	if elapsed < 900*time.Millisecond {
-		t.Errorf("draw failed after %v, should have kept retrying ~MaxStall", elapsed)
+	if virtElapsed < 900*time.Millisecond {
+		t.Errorf("draw failed after %v virtual, should have kept retrying ~MaxStall", virtElapsed)
 	}
-	// t=0 and t≈1s are legitimate attempts; anything much beyond
-	// that within ~1.2s is hammering in defiance of Retry-After.
-	if n := bytesHits.Load(); n > 3 {
-		t.Errorf("%d /bytes attempts in %v against Retry-After: 1 — hammering", n, elapsed)
+	// One attempt at t=0 plus at most one per Retry-After second of
+	// the virtual timeline; more is hammering in defiance of the
+	// header.
+	maxAttempts := 2 + int64(virtElapsed/time.Second)
+	if n := bytesHits.Load(); n > maxAttempts {
+		t.Errorf("%d /bytes attempts in %v virtual against Retry-After: 1 — hammering", n, virtElapsed)
 	}
 	if st := cl.Stats(); st.Sheds429 == 0 {
 		t.Errorf("no 429 recorded; stats %+v", st)

@@ -112,6 +112,13 @@ type Options struct {
 	// Seed parameterises the deterministic jitter.
 	Seed uint64
 
+	// Clock overrides the time source used for backoff scheduling,
+	// fetch deadlines and stats timestamps (nil: the wall clock).
+	// Injecting a deterministic clock makes failover timelines
+	// reproducible in tests — the client-side mirror of
+	// hybridprng.WithClock.
+	Clock func() time.Time
+
 	// HedgeDelay, when positive, arms hedged requests: a block fetch
 	// still unanswered after HedgeDelay is raced against a second
 	// request to a different endpoint, first response wins. 0
@@ -122,6 +129,11 @@ type Options struct {
 	// with sane connection reuse). Its Timeout is ignored; the
 	// per-request context carries RequestTimeout.
 	HTTPClient *http.Client
+
+	// after pairs with Clock as the wait primitive. Unexported:
+	// only this package's tests can drive waits from a fake clock;
+	// production waits always ride the real timer.
+	after func(time.Duration) <-chan time.Time
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -178,6 +190,13 @@ type Client struct {
 	http *http.Client
 	eps  *endpointSet
 
+	// now is the clock (Options.Clock or the wall clock); after is
+	// the matching wait primitive. after stays package-private: tests
+	// swap it so backoff pauses ride a fake clock instead of real
+	// sleeps.
+	now   func() time.Time
+	after func(time.Duration) <-chan time.Time
+
 	ctx    context.Context
 	cancel context.CancelFunc
 	done   chan struct{} // refill goroutine exited
@@ -186,8 +205,8 @@ type Client struct {
 	// one-deep hand-off channel from the refill goroutine — the
 	// "next buffer" of the double-buffered ring.
 	mu     sync.Mutex
-	cur    []byte
-	off    int
+	cur    []byte // current block being drained; guarded by mu
+	off    int    // drain offset into cur; guarded by mu
 	blocks chan []byte
 
 	// fetchErr publishes the refiller's last failure so a stalled
@@ -236,6 +255,14 @@ func New(opts Options) (*Client, error) {
 		cancel: cancel,
 		done:   make(chan struct{}),
 		blocks: make(chan []byte, 1),
+		now:    opts.Clock,
+		after:  opts.after,
+	}
+	if c.now == nil {
+		c.now = time.Now //lint:wallclock default when Options.Clock is nil; the injection point IS Options.Clock
+	}
+	if c.after == nil {
+		c.after = time.After //lint:wallclock default wait primitive; package tests inject a fake-clock channel
 	}
 	c.blockWords.Store(int64(opts.BlockWords))
 	go c.refill()
@@ -380,7 +407,7 @@ func (c *Client) refill() {
 	var lastStalls uint64
 	for {
 		words := int(c.blockWords.Load())
-		start := time.Now()
+		start := c.now()
 		block, ep, err := c.fetchBlock(words)
 		if err != nil {
 			if c.ctx.Err() != nil {
@@ -392,25 +419,25 @@ func (c *Client) refill() {
 			// recover at any moment.
 			c.fetchErr.Store(&fetchError{err})
 			select {
-			case <-time.After(c.opts.BackoffBase):
+			case <-c.after(c.opts.BackoffBase):
 			case <-c.ctx.Done():
 				return
 			}
 			continue
 		}
 		c.fetchErr.Store(nil)
-		fetchDur := time.Since(start)
+		fetchDur := c.now().Sub(start)
 		if lastEp != nil && ep != lastEp {
 			c.failovers.Add(1)
 		}
 		lastEp = ep
-		sendStart := time.Now()
+		sendStart := c.now()
 		select {
 		case c.blocks <- block:
 		case <-c.ctx.Done():
 			return
 		}
-		waited := time.Since(sendStart)
+		waited := c.now().Sub(sendStart)
 		nowStalls := c.stalls.Load()
 		c.adapt(fetchDur, waited, nowStalls != lastStalls)
 		lastStalls = nowStalls
@@ -486,6 +513,6 @@ func (c *Client) Stats() Stats {
 		DiscardedBytes: c.discarded.Load(),
 		BlockWords:     int(c.blockWords.Load()),
 	}
-	st.Endpoints, st.EpochChanges = c.eps.stats(time.Now())
+	st.Endpoints, st.EpochChanges = c.eps.stats(c.now())
 	return st
 }

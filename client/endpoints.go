@@ -17,12 +17,12 @@ type endpoint struct {
 	base  string // normalised base URL, no trailing slash
 	index int
 
-	fails        uint32 // consecutive failures (0 = trusted)
-	failures     uint64 // cumulative failures
-	until        time.Time
-	degraded     bool   // last response carried X-Pool-Degraded
-	epoch        string // last X-Randd-Epoch seen
-	epochChanges uint64
+	fails        uint32    // consecutive failures (0 = trusted); guarded by endpointSet.mu
+	failures     uint64    // cumulative failures; guarded by endpointSet.mu
+	until        time.Time // end of the backoff window; guarded by endpointSet.mu
+	degraded     bool      // last response carried X-Pool-Degraded; guarded by endpointSet.mu
+	epoch        string    // last X-Randd-Epoch seen; guarded by endpointSet.mu
+	epochChanges uint64    // guarded by endpointSet.mu
 }
 
 // endpointSet is the failover brain: round-robin selection over the
@@ -32,12 +32,13 @@ type endpoint struct {
 type endpointSet struct {
 	mu  sync.Mutex
 	eps []*endpoint
-	rr  int
+	rr  int // round-robin cursor; guarded by mu
 
 	seed   uint64
 	base   time.Duration
 	max    time.Duration
 	jitter float64
+	now    func() time.Time // the Client's clock (Options.Clock or wall)
 }
 
 func newEndpointSet(opts Options) (*endpointSet, error) {
@@ -46,6 +47,10 @@ func newEndpointSet(opts Options) (*endpointSet, error) {
 		base:   opts.BackoffBase,
 		max:    opts.BackoffMax,
 		jitter: opts.JitterFrac,
+		now:    opts.Clock,
+	}
+	if s.now == nil {
+		s.now = time.Now //lint:wallclock default when Options.Clock is nil; the injection point IS Options.Clock
 	}
 	for i, raw := range opts.Endpoints {
 		u, err := url.Parse(strings.TrimRight(raw, "/"))
@@ -168,7 +173,7 @@ func (s *endpointSet) fail(ep *endpoint, retryAfter time.Duration) {
 	if retryAfter > backoff {
 		backoff = retryAfter
 	}
-	ep.until = time.Now().Add(backoff)
+	ep.until = s.now().Add(backoff)
 }
 
 // stats snapshots every endpoint and the total epoch-change count.

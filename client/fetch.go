@@ -16,15 +16,15 @@ import (
 // backoff are both honoured here, so a struggling fleet is probed,
 // never hammered.
 func (c *Client) fetchBlock(words int) ([]byte, *endpoint, error) {
-	deadline := time.Now().Add(c.opts.MaxStall)
+	deadline := c.now().Add(c.opts.MaxStall)
 	var lastErr error
 	for {
 		if err := c.ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		ep, wait := c.eps.pick(time.Now())
+		ep, wait := c.eps.pick(c.now())
 		if ep == nil {
-			if time.Now().After(deadline) {
+			if c.now().After(deadline) {
 				if lastErr == nil {
 					lastErr = fmt.Errorf("client: no endpoint available within %v", c.opts.MaxStall)
 				}
@@ -33,11 +33,11 @@ func (c *Client) fetchBlock(words int) ([]byte, *endpoint, error) {
 			if wait <= 0 {
 				wait = 10 * time.Millisecond
 			}
-			if until := time.Until(deadline); wait > until {
+			if until := deadline.Sub(c.now()); wait > until {
 				wait = until + time.Millisecond
 			}
 			select {
-			case <-time.After(wait):
+			case <-c.after(wait):
 			case <-c.ctx.Done():
 				return nil, nil, c.ctx.Err()
 			}
@@ -49,7 +49,7 @@ func (c *Client) fetchBlock(words int) ([]byte, *endpoint, error) {
 		}
 		lastErr = err
 		c.retries.Add(1)
-		if time.Now().After(deadline) {
+		if c.now().After(deadline) {
 			return nil, nil, lastErr
 		}
 	}
@@ -135,7 +135,7 @@ func (c *Client) fetchHedged(primary *endpoint, words int) ([]byte, error) {
 				return nil, firstErr
 			}
 		case <-timer.C:
-			if ep2 := c.eps.pickOther(primary, time.Now()); ep2 != nil {
+			if ep2 := c.eps.pickOther(primary, c.now()); ep2 != nil {
 				hedged = true
 				c.hedges.Add(1)
 				inFlight++

@@ -1,0 +1,173 @@
+// Command hybridlint runs the repro static-analysis suite (package
+// repro/internal/lint): noclock, lockguard, marshalsym and zerofill.
+//
+// Two modes:
+//
+//	hybridlint ./...                      # standalone, loads via `go list -export`
+//	go vet -vettool=$(which hybridlint) ./...   # unit-checker under cmd/go
+//
+// The vettool mode speaks cmd/go's vet protocol: it is invoked once
+// per package with a JSON config file argument (*.cfg) naming the
+// sources and the export data of every dependency, prints findings
+// to stderr, and exits 2 when there are any. Facts are not used, so
+// the mandated .vetx output file is always empty.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybridlint: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("hybridlint", flag.ContinueOnError)
+	version := fs.String("V", "", "print version and exit (cmd/go protocol)")
+	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	switch {
+	case *version != "":
+		return 0, printVersion(*version)
+	case *printFlags:
+		// No tool-specific flags; cmd/go wants a JSON array.
+		fmt.Println("[]")
+		return 0, nil
+	}
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetUnit(rest[0])
+	}
+	if len(rest) == 0 {
+		rest = []string{"."}
+	}
+	return runStandalone(rest)
+}
+
+// printVersion answers -V=full with the self-hash line cmd/go uses
+// as the vet tool's cache key.
+func printVersion(mode string) error {
+	if mode != "full" {
+		fmt.Println("hybridlint version devel")
+		return nil
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("hybridlint version devel buildID=%x\n", h.Sum(nil))
+	return nil
+}
+
+// runStandalone loads packages through the go command and analyzes
+// everything in the current module.
+func runStandalone(patterns []string) (int, error) {
+	pkgs, err := lint.LoadPatterns(patterns...)
+	if err != nil {
+		return 2, err
+	}
+	found := 0
+	for _, pkg := range pkgs {
+		diags, err := lint.Run(pkg, lint.All())
+		if err != nil {
+			return 2, fmt.Errorf("%s: %w", pkg.ImportPath, err)
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "hybridlint: %d finding(s)\n", found)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// vetConfig is the JSON cmd/go writes for each vet unit; field names
+// are fixed by the protocol.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runVetUnit(cfgPath string) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 2, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 2, fmt.Errorf("parse %s: %w", cfgPath, err)
+	}
+	// cmd/go demands the facts file exist even though we export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 2, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+	fset := token.NewFileSet()
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files = append(files, f)
+	}
+	imp := lint.ExportImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, err := lint.TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 2, err
+	}
+	diags, err := lint.Run(pkg, lint.All())
+	if err != nil {
+		return 2, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,25 @@
+package lint
+
+import "testing"
+
+func TestNoClock(t *testing.T) {
+	runFixture(t, NoClock, "noclock", "fixtures/noclock")
+}
+
+// TestNoClockCmdExempt runs wall-clock-using code under a cmd/
+// import path: the allowlist must silence the analyzer entirely.
+func TestNoClockCmdExempt(t *testing.T) {
+	runFixture(t, NoClock, "noclock_cmd", "fixtures/cmd/noclock")
+}
+
+func TestLockGuard(t *testing.T) {
+	runFixture(t, LockGuard, "lockguard", "fixtures/lockguard")
+}
+
+func TestMarshalSym(t *testing.T) {
+	runFixture(t, MarshalSym, "marshalsym", "fixtures/marshalsym")
+}
+
+func TestZeroFill(t *testing.T) {
+	runFixture(t, ZeroFill, "zerofill", "fixtures/zerofill")
+}

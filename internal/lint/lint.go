@@ -1,0 +1,301 @@
+// Package lint is hybridlint: a suite of static analyzers that
+// mechanically enforce the repo's cross-cutting invariants — the
+// conventions the Go toolchain cannot see but the paper's guarantees
+// depend on:
+//
+//   - noclock: randomness and time must flow through injected,
+//     seeded sources (exact-resume and the deterministic
+//     chaos/recovery schedules depend on it), so library code must
+//     not call time.Now/Since/After or the global math/rand.
+//   - lockguard: shared walker/pool state must be touched only under
+//     its declared lock ("guarded by <mu>" field comments), the
+//     thread-safety claim behind Algorithm 2's on-demand GetNextRand.
+//   - marshalsym: every field written by a MarshalBinary must be
+//     read back symmetrically by its UnmarshalBinary unless a
+//     version tag guards the asymmetry — the v1/v2/v3 state-blob
+//     compatibility chain.
+//   - zerofill: exported Fill/Read-shaped draw functions must zero
+//     their output buffer on every error path, so stale buffer
+//     contents can never be consumed as randomness.
+//
+// The framework mirrors golang.org/x/tools/go/analysis (Analyzer,
+// Pass, Diagnostic) but is built on the standard library only: this
+// module is dependency-free and stays that way. cmd/hybridlint is
+// the multichecker driver; it runs standalone (`hybridlint ./...`)
+// and as a `go vet -vettool`.
+//
+// # Suppression markers
+//
+// A finding on an intentional violation is silenced in place, and
+// every marker must be load-bearing — a marker that suppresses
+// nothing is itself a finding, so stale markers cannot accumulate:
+//
+//	p.now = time.Now //lint:wallclock default clock; WithClock injects
+//	//lint:ignore zerofill buffer documented as undefined on error
+//
+// //lint:wallclock is shorthand for //lint:ignore noclock. A marker
+// suppresses findings of its analyzer on the marker's own line, or
+// on the line directly below when the marker stands alone.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:ignore markers.
+	Name string
+	// Doc is a one-paragraph description of what it enforces.
+	Doc string
+	// Run inspects a package and reports findings via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// All is the hybridlint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{NoClock, LockGuard, MarshalSym, ZeroFill}
+}
+
+// A Pass hands one type-checked package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax. Test files (*_test.go) are
+	// included when the driver loads them (go vet does); analyzers
+	// skip them — the invariants gate production code.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	// ImportPath is the package's import path ("repro/client"); the
+	// allowlist exemptions (cmd/, examples/) key off its segments.
+	ImportPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding, already positioned.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Package is a loaded, type-checked unit of analysis.
+type Package struct {
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	ImportPath string
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run applies the analyzers to pkg, applies suppression markers and
+// returns the surviving diagnostics (plus a finding for every marker
+// that suppressed nothing) sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Pkg,
+			Info:       pkg.Info,
+			ImportPath: pkg.ImportPath,
+			diags:      &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	diags = applyMarkers(pkg, analyzers, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// marker is one //lint:… comment.
+type marker struct {
+	pos      token.Position
+	analyzer string // which analyzer it suppresses
+	reason   string
+	used     bool
+}
+
+var markerRe = regexp.MustCompile(`//lint:(wallclock|ignore)(?:\s+(\S+))?(?:\s+(.*))?$`)
+
+// applyMarkers filters diags through the suppression comments of
+// pkg's files and appends a finding for every marker belonging to a
+// ran analyzer that suppressed nothing (or carries no reason) — the
+// "load-bearing" check.
+func applyMarkers(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var markers []*marker
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Only whole-comment markers count; prose that merely
+				// mentions "//lint:…" mid-comment does not.
+				if !strings.HasPrefix(c.Text, "//lint:") {
+					continue
+				}
+				m := markerRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				mk := &marker{pos: pkg.Fset.Position(c.Pos())}
+				switch m[1] {
+				case "wallclock":
+					mk.analyzer = "noclock"
+					mk.reason = strings.TrimSpace(m[2] + " " + m[3])
+				default: // ignore
+					mk.analyzer = m[2]
+					mk.reason = strings.TrimSpace(m[3])
+				}
+				markers = append(markers, mk)
+			}
+		}
+	}
+	if len(markers) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		suppressed := false
+		for _, mk := range markers {
+			if mk.analyzer != d.Analyzer || mk.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if mk.pos.Line == d.Pos.Line || mk.pos.Line+1 == d.Pos.Line {
+				mk.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, mk := range markers {
+		if !ran[mk.analyzer] {
+			continue // can't judge markers for analyzers that didn't run
+		}
+		switch {
+		case !mk.used:
+			kept = append(kept, Diagnostic{
+				Pos:      mk.pos,
+				Analyzer: mk.analyzer,
+				Message:  "marker suppresses nothing and must be removed (markers have to be load-bearing)",
+			})
+		case mk.reason == "":
+			kept = append(kept, Diagnostic{
+				Pos:      mk.pos,
+				Analyzer: mk.analyzer,
+				Message:  "marker needs a justification (//lint:… <why>)",
+			})
+		}
+	}
+	return kept
+}
+
+// pathExempt reports whether the import path is on the allowlist of
+// trees where wall-clock and global-rand use is fine: binaries under
+// cmd/ and runnable documentation under examples/.
+func pathExempt(importPath string) bool {
+	// go vet names test variants "repro [repro.test]"; judge the
+	// underlying package.
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		importPath = importPath[:i]
+	}
+	for _, seg := range strings.Split(importPath, "/") {
+		if seg == "cmd" || seg == "examples" {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether pos sits in a *_test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// enclosingFuncs returns every FuncDecl in the file, for analyzers
+// that need the function containing a node.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+// namedRecv resolves a method receiver to its named type (through
+// pointers and, on go1.22+, aliases); nil for non-methods.
+func namedRecv(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return namedOf(sig.Recv().Type())
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	} else if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n
+	}
+	return nil
+}

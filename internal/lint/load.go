@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Loading: hybridlint type-checks target packages from source and
+// resolves their imports from compiler export data, the same way the
+// go vet driver does. Standalone mode obtains the export files by
+// shelling out to `go list -deps -export -json`; vettool mode is
+// handed them in the vet config. Either way the importer below is
+// the only bridge — no golang.org/x/tools, no network.
+
+// listedPackage is the subset of `go list -json` output we need.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Standard   bool
+	Export     string
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` over patterns and
+// decodes the package stream.
+func goList(patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %w", patterns, err)
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %w", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter builds a types.Importer that reads gc export data
+// files, resolving import paths through importMap (vendoring or test
+// variants; identity when a path is absent) and then through
+// packageFile (import path → export data file).
+func ExportImporter(fset *token.FileSet, importMap, packageFile map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// LoadPatterns loads, parses and type-checks every package matched
+// by patterns that belongs to the current module — dependencies are
+// consumed as export data, never analyzed.
+func LoadPatterns(patterns ...string) ([]*Package, error) {
+	listed, err := goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	packageFile := make(map[string]string)
+	var targets []*listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			packageFile[p.ImportPath] = p.Export
+		}
+		if p.Module != nil && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, nil, packageFile)
+	var out []*Package
+	for _, p := range targets {
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		var files []string
+		for _, f := range p.GoFiles {
+			files = append(files, filepath.Join(p.Dir, f))
+		}
+		pkg, err := TypeCheck(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// TypeCheck parses the named files and type-checks them as one
+// package resolving imports through imp.
+func TypeCheck(fset *token.FileSet, importPath string, filenames []string, imp types.Importer) (*Package, error) {
+	var syntax []*ast.File
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect via the returned error only
+	}
+	pkg, err := conf.Check(importPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		Fset:       fset,
+		Files:      syntax,
+		Pkg:        pkg,
+		Info:       info,
+		ImportPath: importPath,
+	}, nil
+}

@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces "guarded by <mu>" field comments — the declared
+// locking discipline behind the pool's thread-safety claim (the
+// paper's on-demand GetNextRand must be callable from any goroutine).
+// A field comment of the form
+//
+//	until time.Time // …; guarded by mu
+//
+// declares that the field may be touched only while the named mutex
+// of the same struct is held; the qualified form "guarded by
+// Owner.mu" puts a field of one type under a mutex living in another
+// (the client's endpoint records are guarded by endpointSet.mu).
+//
+// The check is deliberately flow-insensitive — it asks "could this
+// function possibly hold the lock?", not "does it on every path" —
+// so it has no false positives on correct code and still catches the
+// real failure mode: a new method touching guarded state with no
+// locking in sight. An access is allowed when the enclosing function
+//
+//   - is a method on the mutex-owning type that acquires the mutex
+//     (calls .Lock/.RLock/.TryLock on it) somewhere in its body, or
+//   - follows the repo's *Locked naming convention (the caller holds
+//     the lock; the convention is auditable at call sites), or
+//   - operates on a value it constructed itself via a composite
+//     literal (not yet shared, so not yet subject to the lock).
+//
+// LockGuard also reports mixed atomic/plain access: a field passed
+// to sync/atomic functions in one place and read or written plainly
+// in another has no consistent synchronisation story at all.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc: "enforce 'guarded by <mu>' field comments: guarded fields only under their mutex; " +
+		"no mixed atomic/plain access to one field",
+	Run: runLockGuard,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)(?:\.([A-Za-z_]\w*))?`)
+
+// guardSpec says: accesses to the field are legal only in functions
+// that can hold holder.mutex (or on locally built values).
+type guardSpec struct {
+	decl   string       // the comment's "mu" / "Owner.mu" spelling
+	holder *types.Named // type owning the mutex
+	mutex  *types.Var   // the mutex field inside holder
+}
+
+func runLockGuard(pass *Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) > 0 {
+		checkGuardedAccesses(pass, guards)
+	}
+	checkMixedAtomics(pass)
+	return nil
+}
+
+// collectGuards parses the "guarded by" comments on struct fields.
+func collectGuards(pass *Pass) map[*types.Var]*guardSpec {
+	guards := make(map[*types.Var]*guardSpec)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Info.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			owner, ok := obj.Type().(*types.Named)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				m := guardedByRe.FindStringSubmatch(commentText(field))
+				if m == nil {
+					continue
+				}
+				spec := resolveGuard(pass, owner, m[1], m[2])
+				if spec == nil {
+					pass.Reportf(field.Pos(),
+						"cannot resolve 'guarded by %s': no such mutex field in this package", strings.TrimSuffix(m[1]+"."+m[2], "."))
+					continue
+				}
+				for _, name := range field.Names {
+					if fv, ok := pass.Info.Defs[name].(*types.Var); ok {
+						guards[fv] = spec
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func commentText(f *ast.Field) string {
+	var b strings.Builder
+	if f.Doc != nil {
+		b.WriteString(f.Doc.Text())
+	}
+	if f.Comment != nil {
+		b.WriteString(f.Comment.Text())
+	}
+	return b.String()
+}
+
+// resolveGuard turns a comment's "mu" or "Owner.mu" into the mutex
+// field object it names.
+func resolveGuard(pass *Pass, owner *types.Named, a, b string) *guardSpec {
+	holder, mutexName, decl := owner, a, a
+	if b != "" {
+		decl = a + "." + b
+		tn, ok := pass.Pkg.Scope().Lookup(a).(*types.TypeName)
+		if !ok {
+			return nil
+		}
+		if holder, ok = tn.Type().(*types.Named); !ok {
+			return nil
+		}
+		mutexName = b
+	}
+	st, ok := holder.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == mutexName && isLockable(f.Type()) {
+			return &guardSpec{decl: decl, holder: holder, mutex: f}
+		}
+	}
+	return nil
+}
+
+// isLockable reports whether t has Lock/Unlock in its method set —
+// sync.Mutex, sync.RWMutex, or any local equivalent.
+func isLockable(t types.Type) bool {
+	ms := types.NewMethodSet(types.NewPointer(t))
+	var hasLock, hasUnlock bool
+	for i := 0; i < ms.Len(); i++ {
+		switch ms.At(i).Obj().Name() {
+		case "Lock":
+			hasLock = true
+		case "Unlock":
+			hasUnlock = true
+		}
+	}
+	return hasLock && hasUnlock
+}
+
+func checkGuardedAccesses(pass *Pass, guards map[*types.Var]*guardSpec) {
+	for _, fd := range funcDecls(pass.Files) {
+		if fd.Body == nil || isTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		var accesses []*ast.SelectorExpr
+		var specs []*guardSpec
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			fv, ok := s.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if spec, guarded := guards[fv]; guarded {
+				accesses = append(accesses, sel)
+				specs = append(specs, spec)
+			}
+			return true
+		})
+		if len(accesses) == 0 {
+			continue
+		}
+		locked := lockedTypes(pass, fd)
+		fresh := locallyConstructed(pass, fd)
+		for i, sel := range accesses {
+			spec := specs[i]
+			if strings.HasSuffix(fd.Name.Name, "Locked") && onHolder(pass, fd, spec) {
+				continue // convention: caller holds the lock
+			}
+			if locked[spec.holder] {
+				continue // this function takes the mutex itself
+			}
+			if base, ok := sel.X.(*ast.Ident); ok {
+				if obj, ok := pass.Info.Uses[base].(*types.Var); ok && fresh[obj] {
+					continue // under construction, not yet shared
+				}
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s is guarded by %s, but %s neither acquires it nor is a *Locked helper",
+				spec.holder.Obj().Name(), sel.Sel.Name, spec.decl, fd.Name.Name)
+		}
+	}
+}
+
+// onHolder reports whether fd is a method (or *Locked helper) whose
+// receiver is the mutex-owning type, so the "caller holds the lock"
+// convention can apply.
+func onHolder(pass *Pass, fd *ast.FuncDecl, spec *guardSpec) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	return namedRecv(fn) == spec.holder
+}
+
+// lockedTypes returns the set of named types T for which fd contains
+// a call x.mu.Lock/RLock/TryLock with x of type T — the
+// flow-insensitive "this function acquires the lock" signal.
+func lockedTypes(pass *Pass, fd *ast.FuncDecl) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock":
+		default:
+			return true
+		}
+		// sel.X should be <expr>.<mutexField>; resolve the type that
+		// owns the mutex field.
+		inner, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.Info.Selections[inner]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if !isLockable(s.Obj().Type()) {
+			return true
+		}
+		if owner := namedOf(s.Recv()); owner != nil {
+			out[owner] = true
+		}
+		return true
+	})
+	return out
+}
+
+// locallyConstructed returns the variables fd assigns from composite
+// literals — values it built itself and has not shared yet.
+func locallyConstructed(pass *Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if !isCompositeLit(rhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[id].(*types.Var); ok {
+				out[obj] = true
+			} else if obj, ok := pass.Info.Uses[id].(*types.Var); ok {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isCompositeLit(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		_, ok := e.X.(*ast.CompositeLit)
+		return ok
+	}
+	return false
+}
+
+// checkMixedAtomics reports struct fields that are accessed both
+// through sync/atomic package functions (atomic.AddUint64(&x.n, …))
+// and plainly (x.n++) — two halves of the program disagreeing about
+// the field's synchronisation discipline.
+func checkMixedAtomics(pass *Pass) {
+	atomicUses := make(map[*types.Var][]*ast.SelectorExpr)
+	plainUses := make(map[*types.Var][]*ast.SelectorExpr)
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && isAtomicCall(pass, call) {
+				for _, arg := range call.Args {
+					if fv, sel := addressedField(pass, arg); fv != nil {
+						atomicUses[fv] = append(atomicUses[fv], sel)
+					}
+				}
+				return true
+			}
+			return true
+		})
+	}
+	// Second walk for plain accesses, skipping the &x.f atomic args
+	// collected above.
+	inAtomic := make(map[*ast.SelectorExpr]bool)
+	for _, sels := range atomicUses {
+		for _, sel := range sels {
+			inAtomic[sel] = true
+		}
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomic[sel] {
+				return true
+			}
+			s, ok := pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			if fv, ok := s.Obj().(*types.Var); ok {
+				if _, isAtomic := atomicUses[fv]; isAtomic {
+					plainUses[fv] = append(plainUses[fv], sel)
+				}
+			}
+			return true
+		})
+	}
+	for fv, sels := range plainUses {
+		for _, sel := range sels {
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed through sync/atomic elsewhere; this plain access races with it",
+				fv.Name())
+		}
+	}
+}
+
+// isAtomicCall reports calls to sync/atomic package-level functions.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "sync/atomic"
+}
+
+// addressedField unwraps &x.f to the field variable, or nil.
+func addressedField(pass *Pass, e ast.Expr) (*types.Var, *ast.SelectorExpr) {
+	ue, ok := e.(*ast.UnaryExpr)
+	if !ok {
+		return nil, nil
+	}
+	sel, ok := ue.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil
+	}
+	fv, _ := s.Obj().(*types.Var)
+	return fv, sel
+}

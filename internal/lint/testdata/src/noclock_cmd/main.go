@@ -1,0 +1,13 @@
+// Package main is the noclock path-allowlist fixture: loaded under
+// an import path with a cmd/ segment, where wall-clock use is fine.
+package main
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func main() {
+	_ = uptime(time.Now())
+}

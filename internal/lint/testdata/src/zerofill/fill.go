@@ -1,0 +1,99 @@
+// Package zerofill exercises the zerofill analyzer: exported
+// Fill/Read shapes must zero their output buffer on error paths.
+package zerofill
+
+import "errors"
+
+var errDown = errors.New("source down")
+
+type source struct {
+	ok    bool
+	words []uint64
+}
+
+func zeroWords(dst []uint64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}
+
+// Good: both error paths zero the buffer first.
+type safe struct{ src source }
+
+func (s *safe) Fill(dst []uint64) error {
+	if !s.src.ok {
+		zeroWords(dst)
+		return errDown
+	}
+	n := copy(dst, s.src.words)
+	if n < len(dst) {
+		zeroWords(dst[n:])
+		return errDown
+	}
+	return nil
+}
+
+// Good: zeroing with an inline loop instead of a helper.
+func (s *safe) Read(p []byte) (int, error) {
+	if !s.src.ok {
+		for i := range p {
+			p[i] = 0
+		}
+		return 0, errDown
+	}
+	return len(p), nil
+}
+
+// Bad: hands the error up with whatever was in the buffer.
+type leaky struct{ src source }
+
+func (l *leaky) Fill(dst []uint64) error {
+	if !l.src.ok {
+		return errDown // want "returns an error without zeroing dst"
+	}
+	copy(dst, l.src.words)
+	return nil
+}
+
+// Bad: the early path zeroes, the partial-read path does not.
+func (l *leaky) Read(p []byte) (int, error) {
+	if !l.src.ok {
+		for i := range p {
+			p[i] = 0
+		}
+		return 0, errDown
+	}
+	n := len(p) / 2
+	if n < len(p) {
+		return n, errDown // want "returns an error without zeroing p"
+	}
+	return n, nil
+}
+
+// Exempt: unexported helpers delegate zeroing to their exported
+// callers.
+func (l *leaky) fill(dst []uint64) error {
+	if !l.src.ok {
+		return errDown
+	}
+	return nil
+}
+
+// Exempt: no error result means no error path to zero on.
+type infallible struct{}
+
+func (infallible) Fill(dst []uint64) {
+	for i := range dst {
+		dst[i] = 7
+	}
+}
+
+// Suppressed: a documented exception.
+type raw struct{ src source }
+
+func (r *raw) Fill(dst []uint64) error {
+	if !r.src.ok {
+		return errDown //lint:ignore zerofill fixture contract documents dst as undefined on error
+	}
+	return nil
+}

@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ZeroFill enforces the draw-path output invariant established in PR
+// 3: an exported Fill- or Read-shaped function that can fail must
+// zero its output buffer on every error path, so callers can never
+// mistake stale (or worse, untrusted post-trip) buffer contents for
+// served randomness.
+//
+// Shapes checked: exported functions/methods named Fill or Read that
+// take a slice parameter and return an error (optionally (n, err)).
+// A return handing back a non-nil error is compliant when the
+// enclosing block, before the return, either calls a zeroing helper
+// (any function whose name contains "zero") on the buffer or runs a
+// loop that assigns zeros into it — the two idioms the codebase
+// uses. Unexported helpers are out of scope: the invariant is a
+// public-API contract, and internal helpers legitimately delegate
+// zeroing to their exported callers.
+var ZeroFill = &Analyzer{
+	Name: "zerofill",
+	Doc: "exported Fill/Read-shaped functions returning errors must zero their output " +
+		"buffer on every error path",
+	Run: runZeroFill,
+}
+
+func runZeroFill(pass *Pass) error {
+	for _, fd := range funcDecls(pass.Files) {
+		if fd.Body == nil || isTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		if fd.Name.Name != "Fill" && fd.Name.Name != "Read" || !fd.Name.IsExported() {
+			continue
+		}
+		buf := sliceParam(pass, fd)
+		if buf == nil || !returnsError(pass, fd) {
+			continue
+		}
+		checkErrorPaths(pass, fd, buf)
+	}
+	return nil
+}
+
+// sliceParam returns the function's first slice parameter — the
+// output buffer of a Fill/Read shape — or nil.
+func sliceParam(pass *Pass, fd *ast.FuncDecl) *types.Var {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+				if _, isSlice := v.Type().Underlying().(*types.Slice); isSlice {
+					return v
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// returnsError reports whether the last result is an error.
+func returnsError(pass *Pass, fd *ast.FuncDecl) bool {
+	fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	res := fn.Type().(*types.Signature).Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.AssignableTo(last, types.Universe.Lookup("error").Type())
+}
+
+// checkErrorPaths walks every block of the body; for each return
+// whose error result is not the nil literal, it demands a zeroing
+// statement earlier in the same block.
+func checkErrorPaths(pass *Pass, fd *ast.FuncDecl, buf *types.Var) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		zeroedAt := -1 // index of the latest zeroing statement seen
+		for i, stmt := range block.List {
+			if zeroesBuffer(pass, stmt, buf) {
+				zeroedAt = i
+			}
+			ret, ok := stmt.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) == 0 {
+				continue
+			}
+			errExpr := ret.Results[len(ret.Results)-1]
+			if isNilLiteral(pass, errExpr) || zeroedAt >= 0 {
+				continue
+			}
+			pass.Reportf(ret.Pos(),
+				"%s returns an error without zeroing %s first; stale buffer contents must not be consumable as randomness",
+				fd.Name.Name, buf.Name())
+		}
+		return true
+	})
+}
+
+// zeroesBuffer recognises the two sanctioned zeroing idioms applied
+// to buf: a call to a *zero* helper taking buf (possibly sliced),
+// and a for/range loop assigning zeros into buf.
+func zeroesBuffer(pass *Pass, stmt ast.Stmt, buf *types.Var) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !isZeroCallName(n.Fun) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if mentionsVar(pass, arg, buf) {
+					found = true
+				}
+			}
+		case *ast.AssignStmt:
+			// buf[i] = 0 (or byte(0), or v where v is the constant 0)
+			for i, lhs := range n.Lhs {
+				idx, ok := lhs.(*ast.IndexExpr)
+				if !ok || !mentionsVar(pass, idx.X, buf) || i >= len(n.Rhs) {
+					continue
+				}
+				if tv, ok := pass.Info.Types[n.Rhs[i]]; ok && tv.Value != nil && tv.Value.String() == "0" {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isZeroCallName(fun ast.Expr) bool {
+	var name string
+	switch f := fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	for i := 0; i+4 <= len(name); i++ {
+		if eqFold4(name[i:i+4], "zero") {
+			return true
+		}
+	}
+	return false
+}
+
+func eqFold4(s, t string) bool {
+	for i := 0; i < 4; i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mentionsVar reports whether expr references v (directly or through
+// slicing).
+func mentionsVar(pass *Pass, expr ast.Expr, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isNilLiteral(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}

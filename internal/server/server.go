@@ -227,7 +227,7 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 		if last == 0 {
 			return -1 // never snapshotted
 		}
-		return time.Since(time.UnixMilli(last)).Seconds()
+		return time.Since(time.UnixMilli(last)).Seconds() //lint:wallclock snapshot age is an operator-facing wall-clock metric
 	}))
 	m.Set("pool", expvar.Func(func() any { return pool.Stats() }))
 	s.metrics = m
@@ -356,7 +356,7 @@ func (s *Server) Snapshot() (int, error) {
 		return 0, fmt.Errorf("server: publish snapshot: %w", err)
 	}
 	s.snapshots.Add(1)
-	s.lastSnapUnix.Store(time.Now().UnixMilli())
+	s.lastSnapUnix.Store(time.Now().UnixMilli()) //lint:wallclock snapshot timestamps are operator-facing wall-clock metadata
 	return len(blob), nil
 }
 
@@ -422,7 +422,7 @@ func (s *Server) fail(w http.ResponseWriter, code int, msg string) {
 func newEpoch() string {
 	var b [8]byte
 	if _, err := crand.Read(b[:]); err != nil {
-		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano())) //lint:wallclock last-resort epoch nonce when crypto/rand fails; uniqueness, not determinism, is the goal
 	}
 	return hex.EncodeToString(b[:])
 }
@@ -596,7 +596,7 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 		// SetWriteDeadline errors (unsupported writer, e.g. a test
 		// recorder) downgrade to the old no-deadline behaviour.
 		if s.streamWrite > 0 {
-			_ = rc.SetWriteDeadline(time.Now().Add(s.streamWrite))
+			_ = rc.SetWriteDeadline(time.Now().Add(s.streamWrite)) //lint:wallclock socket deadlines are kernel wall-clock by definition
 		}
 		if _, err := w.Write(raw[:batch*8]); err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {

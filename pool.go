@@ -277,7 +277,7 @@ func NewPool(opts ...Option) (*Pool, error) {
 		now:    c.now,
 	}
 	if p.now == nil {
-		p.now = time.Now
+		p.now = time.Now //lint:wallclock default when WithClock was not used; the injection point IS WithClock
 	}
 	for i := range p.shards {
 		br, mon, err := c.bits(i)

@@ -602,7 +602,7 @@ func (p *Pool) UnmarshalBinary(data []byte) error {
 	if bufWords < 1 || bufWords > maxShardBuffer {
 		return fmt.Errorf("hybridprng: shard buffer %d outside [1, %d]", bufWords, maxShardBuffer)
 	}
-	now := time.Now
+	now := time.Now //lint:wallclock default when the restored Pool has no injected clock yet
 	if p.now != nil {
 		now = p.now
 	}
@@ -650,7 +650,7 @@ func (p *Pool) UnmarshalBinary(data []byte) error {
 	}
 	p.shards, p.mask, p.policy = restored.shards, restored.mask, restored.policy
 	if p.now == nil {
-		p.now = time.Now
+		p.now = time.Now //lint:wallclock default when the blob's producer used no injected clock; WithClock still overrides
 	}
 	for i, s := range p.shards {
 		s.pool, s.index = p, i
