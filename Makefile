@@ -3,7 +3,7 @@
 
 GOPATH_BIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint lint-vet fmt check
+.PHONY: build test race lint lint-vet fmt check battery-short battery-long bench-seed
 
 build:
 	go build ./...
@@ -26,6 +26,24 @@ lint-vet:
 
 fmt:
 	gofmt -l .
+
+## battery-short: the per-PR cross-stream battery — 256 streams per
+## source under the race detector, the same invocation CI runs.
+battery-short:
+	go test -run CrossStream -short -race ./...
+
+## battery-long: the scheduled deep battery — thousands of streams,
+## long-profile tests plus the standalone JSON verdict reporter.
+battery-long:
+	go test -run CrossStream -count=1 -timeout 30m ./...
+	go run ./cmd/crossstream -long -out BENCH_battery_long.json
+
+## bench-seed: regenerate the committed benchmark/quality
+## trajectories (BENCH_quality.json, BENCH_pool.json).
+bench-seed:
+	go run ./cmd/crossstream -out BENCH_quality.json
+	go test -run '^$$' -bench 'BenchmarkPool|BenchmarkGetNextRand' -benchtime 0.5s . \
+		| go run ./cmd/benchseed -out BENCH_pool.json
 
 ## check: everything a merge gate checks that runs offline.
 check: build lint test race

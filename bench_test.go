@@ -323,3 +323,41 @@ func BenchmarkBitReader(b *testing.B) {
 		br.Bits(3)
 	}
 }
+
+// BenchmarkPool measures the sharded serving surface the randd
+// server draws from: ticketed single-word draws, bulk Fill striping
+// across shards, and the per-shard ShardFill audit probe the
+// cross-stream battery uses.
+func BenchmarkPool(b *testing.B) {
+	p, err := NewPool(WithSeed(1), WithShards(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("uint64", func(b *testing.B) {
+		b.SetBytes(8)
+		for i := 0; i < b.N; i++ {
+			if _, err := p.Uint64(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	dst := make([]uint64, 1024)
+	b.Run("fill-8KiB", func(b *testing.B) {
+		b.SetBytes(8 * 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p.Fill(dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shard-fill-8KiB", func(b *testing.B) {
+		b.SetBytes(8 * 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p.ShardFill(i&3, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

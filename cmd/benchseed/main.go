@@ -1,0 +1,115 @@
+// Command benchseed converts `go test -bench` text output into the
+// normalized JSON trajectory files committed as BENCH_*.json, so
+// perf numbers are tracked in-repo PR-over-PR instead of living only
+// in CI artifacts.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Pool . | benchseed -out BENCH_pool.json
+//
+// Metadata lines (goos/goarch/cpu/pkg) are captured alongside each
+// benchmark's ns/op, MB/s, allocs and custom metrics (e.g. sim-ms).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name    string             `json:"name"`
+	Iters   int64              `json:"iterations"`
+	Metrics map[string]float64 `json:"metrics"` // unit → value ("ns/op", "MB/s", ...)
+}
+
+type seedFile struct {
+	Meta       map[string]string `json:"meta"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+}
+
+func parse(r io.Reader) (*seedFile, error) {
+	out := &seedFile{Meta: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"),
+			strings.HasPrefix(line, "pkg:"), strings.HasPrefix(line, "cpu:"):
+			k, v, _ := strings.Cut(line, ":")
+			out.Meta[k] = strings.TrimSpace(v)
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBench(line)
+			if err != nil {
+				return nil, err
+			}
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found")
+	}
+	return out, nil
+}
+
+// parseBench decodes one result line: name, iteration count, then
+// value/unit pairs ("213066 ns/op", "38.45 MB/s", "0 allocs/op").
+func parseBench(line string) (benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchmark{}, fmt.Errorf("short benchmark line %q", line)
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix: trajectories compare across runs.
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, fmt.Errorf("benchmark line %q: %v", line, err)
+	}
+	b := benchmark{Name: name, Iters: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, fmt.Errorf("benchmark line %q: %v", line, err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON to this file (default stdout)")
+	flag.Parse()
+
+	seed, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchseed: %v\n", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(seed, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchseed: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchseed: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,194 @@
+// Command crossstream runs the cross-stream quality battery
+// (internal/crossstream) against the real serving surfaces — the
+// workers of a Parallel and/or the shards of a Pool — and emits a
+// JSON verdict suitable for CI artifacts and the committed
+// BENCH_quality.json trajectory. The process exits non-zero when any
+// check fails, so a scheduled battery run fails its job on a real
+// finding.
+//
+// Usage:
+//
+//	crossstream [-source parallel|pool|both] [-streams N] [-seed N]
+//	            [-long] [-out file.json] [-v]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	hybridprng "repro"
+	"repro/internal/crossstream"
+	"repro/internal/rng"
+)
+
+// verdict is the emitted artifact: one report per stream source plus
+// wall-clock accounting (cmd binaries may read clocks; the battery
+// itself never does).
+type verdict struct {
+	Profile  string                `json:"profile"`
+	Seed     uint64                `json:"seed"`
+	Streams  int                   `json:"streams"`
+	Reports  []*crossstream.Report `json:"reports"`
+	Passed   int                   `json:"passed"`
+	Total    int                   `json:"total"`
+	Findings []string              `json:"findings"`
+	WallMS   map[string]int64      `json:"wall_ms"`
+}
+
+func parallelSources(workers int, seed uint64) ([]rng.Source, error) {
+	p, err := hybridprng.NewParallel(workers, hybridprng.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	srcs := make([]rng.Source, workers)
+	for i := range srcs {
+		srcs[i] = p.Worker(i)
+	}
+	return srcs, nil
+}
+
+// shardSource adapts one Pool shard to rng.Source via the ShardFill
+// audit probe.
+type shardSource struct {
+	p   *hybridprng.Pool
+	i   int
+	buf []uint64
+	idx int
+}
+
+func (s *shardSource) Uint64() uint64 {
+	if s.idx == len(s.buf) {
+		if err := s.p.ShardFill(s.i, s.buf); err != nil {
+			fmt.Fprintf(os.Stderr, "crossstream: %v\n", err)
+			os.Exit(1)
+		}
+		s.idx = 0
+	}
+	v := s.buf[s.idx]
+	s.idx++
+	return v
+}
+
+func poolSources(shards int, seed uint64) ([]rng.Source, error) {
+	p, err := hybridprng.NewPool(hybridprng.WithSeed(seed),
+		hybridprng.WithShards(shards), hybridprng.WithShardBuffer(64))
+	if err != nil {
+		return nil, err
+	}
+	if p.Shards() != shards {
+		return nil, fmt.Errorf("shard count %d rounded to %d; pass a power of two", shards, p.Shards())
+	}
+	srcs := make([]rng.Source, shards)
+	for i := range srcs {
+		buf := make([]uint64, 256)
+		srcs[i] = &shardSource{p: p, i: i, buf: buf, idx: len(buf)}
+	}
+	return srcs, nil
+}
+
+func avalanche(baseSeed uint64, seeds, words int) *crossstream.AvalancheConfig {
+	return &crossstream.AvalancheConfig{
+		Stream: func(seed uint64, words int) ([]uint64, error) {
+			g, err := hybridprng.New(hybridprng.WithSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			out := make([]uint64, words)
+			g.Fill(out)
+			return out, nil
+		},
+		BaseSeed: baseSeed,
+		Seeds:    seeds,
+		Words:    words,
+	}
+}
+
+func main() {
+	source := flag.String("source", "both", "stream source: parallel, pool or both")
+	streams := flag.Int("streams", 0, "streams per source (default 256, or 2048 with -long; power of two for pool)")
+	seed := flag.Uint64("seed", 20120521, "ensemble seed")
+	long := flag.Bool("long", false, "run the long profile (more streams, longer prefixes, scaled batteries)")
+	out := flag.String("out", "", "write the JSON verdict to this file (default stdout)")
+	verbose := flag.Bool("v", false, "print every check")
+	flag.Parse()
+
+	cfg := crossstream.ShortProfile()
+	n := 256
+	avSeeds, avWords := 48, 16
+	if *long {
+		cfg = crossstream.LongProfile()
+		n = 2048
+		avSeeds, avWords = 128, 32
+	}
+	if *streams > 0 {
+		n = *streams
+	}
+
+	v := &verdict{Profile: cfg.Profile, Seed: *seed, Streams: n, WallMS: map[string]int64{}}
+	runSet := func(name string, srcs []rng.Source, c crossstream.Config) {
+		start := time.Now()
+		r, err := crossstream.Run(crossstream.FromSources(name, srcs), c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crossstream: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		v.WallMS[name] = time.Since(start).Milliseconds()
+		v.Reports = append(v.Reports, r)
+		v.Passed += r.Passed
+		v.Total += r.Total
+		v.Findings = append(v.Findings, r.Findings...)
+		if *verbose {
+			for _, c := range r.Checks {
+				status := "pass"
+				if !c.Pass {
+					status = "FAIL"
+				}
+				fmt.Fprintf(os.Stderr, "%-8s %s/%s: %s\n", status, name, c.Name, c.Detail)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "%s (%d ms)\n", r.String(), v.WallMS[name])
+	}
+
+	if *source == "parallel" || *source == "both" {
+		srcs, err := parallelSources(n, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crossstream: %v\n", err)
+			os.Exit(1)
+		}
+		c := cfg
+		c.Avalanche = avalanche(*seed, avSeeds, avWords)
+		runSet("parallel", srcs, c)
+	}
+	if *source == "pool" || *source == "both" {
+		srcs, err := poolSources(n, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crossstream: %v\n", err)
+			os.Exit(1)
+		}
+		runSet("pool", srcs, cfg)
+	}
+	if v.Total == 0 {
+		fmt.Fprintf(os.Stderr, "crossstream: unknown source %q\n", *source)
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crossstream: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "crossstream: %v\n", err)
+		os.Exit(1)
+	}
+	if len(v.Findings) > 0 {
+		fmt.Fprintf(os.Stderr, "crossstream: %d finding(s)\n", len(v.Findings))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,390 @@
+package hybridprng_test
+
+// Cross-stream battery integration: the internal/crossstream checks
+// run against the real serving surfaces — Parallel workers, Pool
+// shards (via ShardFill), snapshot-restored workers and shards that
+// healed through the recovery state machine. The short tests are the
+// per-PR CI battery (-run CrossStream -short -race); the long tests
+// scale the same checks to thousands of streams.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	hybridprng "repro"
+	"repro/internal/crossstream"
+	"repro/internal/rng"
+)
+
+// hybridAvalanche is the nearby-seed factory for the initialization
+// avalanche check: a fresh generator per seed, first outputs only.
+func hybridAvalanche(baseSeed uint64, seeds, words int) *crossstream.AvalancheConfig {
+	return &crossstream.AvalancheConfig{
+		Stream: func(seed uint64, words int) ([]uint64, error) {
+			g, err := hybridprng.New(hybridprng.WithSeed(seed))
+			if err != nil {
+				return nil, err
+			}
+			out := make([]uint64, words)
+			g.Fill(out)
+			return out, nil
+		},
+		BaseSeed: baseSeed,
+		Seeds:    seeds,
+		Words:    words,
+	}
+}
+
+// parallelSet exposes every worker of a Parallel as one battery
+// stream (Generator is an rng.Source).
+func parallelSet(t *testing.T, workers int, seed uint64) crossstream.StreamSet {
+	t.Helper()
+	p, err := hybridprng.NewParallel(workers, hybridprng.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := make([]rng.Source, workers)
+	for i := range srcs {
+		srcs[i] = p.Worker(i)
+	}
+	return crossstream.FromSources("parallel", srcs)
+}
+
+// shardSource adapts one Pool shard to rng.Source through the
+// ShardFill audit probe, buffering a block at a time.
+type shardSource struct {
+	t   *testing.T
+	p   *hybridprng.Pool
+	i   int
+	buf []uint64
+	idx int
+}
+
+func newShardSource(t *testing.T, p *hybridprng.Pool, i int) *shardSource {
+	return &shardSource{t: t, p: p, i: i, buf: make([]uint64, 256), idx: 256}
+}
+
+func (s *shardSource) Uint64() uint64 {
+	if s.idx == len(s.buf) {
+		if err := s.p.ShardFill(s.i, s.buf); err != nil {
+			s.t.Fatalf("shard %d: %v", s.i, err)
+		}
+		s.idx = 0
+	}
+	v := s.buf[s.idx]
+	s.idx++
+	return v
+}
+
+func poolSet(t *testing.T, shards int, seed uint64) crossstream.StreamSet {
+	t.Helper()
+	p, err := hybridprng.NewPool(hybridprng.WithSeed(seed),
+		hybridprng.WithShards(shards), hybridprng.WithShardBuffer(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != shards {
+		t.Fatalf("pool has %d shards, want %d", p.Shards(), shards)
+	}
+	srcs := make([]rng.Source, shards)
+	for i := range srcs {
+		srcs[i] = newShardSource(t, p, i)
+	}
+	return crossstream.FromSources("pool", srcs)
+}
+
+func requireClean(t *testing.T, r *crossstream.Report, minChecks int) {
+	t.Helper()
+	t.Log(r.String())
+	if len(r.Findings) != 0 {
+		t.Fatalf("battery findings:\n  %s", strings.Join(r.Findings, "\n  "))
+	}
+	if r.Total < minChecks {
+		t.Fatalf("battery ran %d checks, want ≥ %d", r.Total, minChecks)
+	}
+}
+
+// TestCrossStreamParallelShort is the per-PR battery over Parallel
+// workers: 256 streams, every pair correlated, composite fed through
+// DIEHARD and SmallCrush, zero findings expected.
+func TestCrossStreamParallelShort(t *testing.T) {
+	cfg := crossstream.ShortProfile()
+	cfg.Avalanche = hybridAvalanche(20120521, 48, 16)
+	r, err := crossstream.Run(parallelSet(t, 256, 20120521), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Streams < 256 {
+		t.Fatalf("short battery covered %d streams, want ≥ 256", r.Streams)
+	}
+	requireClean(t, r, 8)
+}
+
+// TestCrossStreamPoolShort runs the same battery over Pool shards via
+// the ShardFill probe — the streams serving traffic actually draws
+// from, behind the ring and failover machinery.
+func TestCrossStreamPoolShort(t *testing.T) {
+	cfg := crossstream.ShortProfile()
+	r, err := crossstream.Run(poolSet(t, 256, 20120521), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, r, 7)
+}
+
+// TestCrossStreamParallelLong scales the battery to 2048 worker
+// streams with the sampled-pair long profile.
+func TestCrossStreamParallelLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thousands-of-streams battery run")
+	}
+	cfg := crossstream.LongProfile()
+	cfg.Avalanche = hybridAvalanche(20120521, 128, 32)
+	r, err := crossstream.Run(parallelSet(t, 2048, 20120521), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Streams < 2048 {
+		t.Fatalf("long battery covered %d streams, want ≥ 2048", r.Streams)
+	}
+	requireClean(t, r, 8)
+}
+
+// TestCrossStreamPoolLong is the long-profile pool run: 2048 shard
+// streams through the same checks.
+func TestCrossStreamPoolLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thousands-of-streams battery run")
+	}
+	r, err := crossstream.Run(poolSet(t, 2048, 20120521), crossstream.LongProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, r, 7)
+}
+
+// TestCrossStreamCatchesDuplicateWorkerSeeds injects the
+// counter-reuse bug into the real generator: two of 64 workers built
+// from the same seed. The aliasing check must fail and name both.
+func TestCrossStreamCatchesDuplicateWorkerSeeds(t *testing.T) {
+	srcs := make([]rng.Source, 64)
+	for i := range srcs {
+		seed := uint64(5000 + i)
+		if i == 41 {
+			seed = 5000 + 7 // duplicated seed — the injected bug
+		}
+		g, err := hybridprng.New(hybridprng.WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcs[i] = g
+	}
+	cfg := crossstream.ShortProfile()
+	cfg.DiehardScale = 0 // prefix checks are the point here
+	cfg.SmallCrush = false
+	r, err := crossstream.Run(crossstream.FromSources("workers", srcs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alias crossstream.Check
+	for _, c := range r.Checks {
+		if c.Name == "prefix-aliasing" {
+			alias = c
+		}
+	}
+	if alias.Name == "" {
+		t.Fatal("no prefix-aliasing check in report")
+	}
+	if alias.Pass {
+		t.Fatalf("duplicate-seeded workers not caught: %s", alias.Detail)
+	}
+	if !strings.Contains(alias.Detail, "workers[7]") || !strings.Contains(alias.Detail, "workers[41]") {
+		t.Errorf("aliasing finding does not name the duplicated workers: %s", alias.Detail)
+	}
+}
+
+// replaySource hands back a recorded prefix; the battery never reads
+// past it in these tests (interleaved batteries disabled).
+type replaySource struct {
+	words []uint64
+	idx   int
+}
+
+func (s *replaySource) Uint64() uint64 {
+	if s.idx >= len(s.words) {
+		panic("replaySource exhausted")
+	}
+	v := s.words[s.idx]
+	s.idx++
+	return v
+}
+
+// prefixOnly disables the live-draw composite batteries so recorded
+// prefixes can stand in as sources.
+func prefixOnly() crossstream.Config {
+	cfg := crossstream.ShortProfile()
+	cfg.Prefix = 256
+	cfg.CorrWords = 192
+	cfg.DiehardScale = 0
+	cfg.SmallCrush = false
+	return cfg
+}
+
+// TestCrossStreamParallelSnapshotRestoreDisjoint checkpoints a
+// Parallel mid-stream, restores it, and requires (a) exact resume —
+// every restored worker continues its own stream word for word — and
+// (b) disjointness: the pre-snapshot prefixes and the post-restore
+// continuations, taken together as one ensemble, show no aliasing
+// and no cross-correlation. A restore that rewound workers onto each
+// other's streams, or re-ran seeding into a shared state, fails the
+// battery even where it would pass per-worker spot checks.
+func TestCrossStreamParallelSnapshotRestoreDisjoint(t *testing.T) {
+	const workers, words = 64, 256
+	p, err := hybridprng.NewParallel(workers, hybridprng.WithSeed(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := make([][]uint64, workers)
+	for i := range pre {
+		pre[i] = make([]uint64, words)
+		p.Worker(i).Fill(pre[i])
+	}
+	blob, err := p.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := make([][]uint64, workers)
+	for i := range post {
+		post[i] = make([]uint64, words)
+		p.Worker(i).Fill(post[i])
+	}
+
+	r := new(hybridprng.Parallel)
+	if err := r.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers; i++ {
+		got := make([]uint64, words)
+		r.Worker(i).Fill(got)
+		for j := range got {
+			if got[j] != post[i][j] {
+				t.Fatalf("worker %d diverged at +%d after restore", i, j)
+			}
+		}
+	}
+
+	// One ensemble of 2·workers streams: each worker's pre-snapshot
+	// prefix and its post-restore continuation as separate streams.
+	names := make([]string, 0, 2*workers)
+	srcs := make([]rng.Source, 0, 2*workers)
+	for i := range pre {
+		names = append(names, fmt.Sprintf("pre[%d]", i), fmt.Sprintf("post[%d]", i))
+		srcs = append(srcs, &replaySource{words: pre[i]}, &replaySource{words: post[i]})
+	}
+	set := crossstream.StreamSet{Name: "snapshot", Names: names, Sources: srcs}
+	report, err := crossstream.Run(set, prefixOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, report, 4)
+}
+
+// restoreFakeClock mirrors recovery_test.go's manual clock for the
+// external test package.
+type restoreFakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *restoreFakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *restoreFakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestCrossStreamRecoveredShardInitQuality trips a shard, lets the
+// recovery state machine reseed and readmit it, then audits the
+// healed shard's fresh stream against every other shard's pre-trip
+// stream — and against the tripped shard's own pre-trip stream. The
+// reseed path runs the full Algorithm 1 initialization walk from a
+// derived seed, so the healed stream must be bit-balanced, non-
+// aliasing (in particular, NOT a replay of the pre-trip stream) and
+// uncorrelated with the rest of the pool.
+func TestCrossStreamRecoveredShardInitQuality(t *testing.T) {
+	const shards, words = 8, 256
+	clock := &restoreFakeClock{t: time.Unix(1_000_000, 0)}
+	p, err := hybridprng.NewPool(hybridprng.WithSeed(4242),
+		hybridprng.WithShards(shards), hybridprng.WithShardBuffer(16),
+		hybridprng.WithRecovery(hybridprng.RecoveryPolicy{
+			QuarantineBase: 50 * time.Millisecond,
+			ProbationWords: 256,
+			MaxTrips:       4,
+		}),
+		hybridprng.WithClock(clock.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := make([][]uint64, shards)
+	for i := range pre {
+		pre[i] = make([]uint64, words)
+		if err := p.ShardFill(i, pre[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if err := p.InjectFault(0); err != nil {
+		t.Fatal(err)
+	}
+	var probe [words]uint64
+	if err := p.ShardFill(0, probe[:]); err == nil {
+		t.Fatal("tripped shard still serving through ShardFill")
+	}
+	for i := range probe {
+		if probe[i] != 0 {
+			t.Fatal("ShardFill left untrusted words in dst after failure")
+		}
+	}
+
+	// Heal: past quarantine, draws drive reseed + probation.
+	clock.Advance(200 * time.Millisecond)
+	dst := make([]uint64, 16)
+	for i := 0; i < 100; i++ {
+		_ = p.Fill(dst)
+		if h, _ := p.Health(); h == shards {
+			break
+		}
+	}
+	if h, total := p.Health(); h != total {
+		t.Fatalf("pool never healed: %d/%d shards healthy", h, total)
+	}
+
+	healed := make([]uint64, words)
+	if err := p.ShardFill(0, healed); err != nil {
+		t.Fatal(err)
+	}
+
+	names := make([]string, 0, shards+1)
+	srcs := make([]rng.Source, 0, shards+1)
+	for i := range pre {
+		names = append(names, fmt.Sprintf("shard[%d]-pretrip", i))
+		srcs = append(srcs, &replaySource{words: pre[i]})
+	}
+	names = append(names, "shard[0]-healed")
+	srcs = append(srcs, &replaySource{words: healed})
+	report, err := crossstream.Run(
+		crossstream.StreamSet{Name: "recovery", Names: names, Sources: srcs},
+		prefixOnly())
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, report, 4)
+}

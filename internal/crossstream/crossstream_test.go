@@ -1,0 +1,318 @@
+package crossstream
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/baselines"
+	"repro/internal/rng"
+)
+
+// fixtureSet builds n splitmix-backed streams with decorrelated
+// seeds — the healthy ensemble every negative fixture perturbs.
+func fixtureSet(n int, seed uint64) StreamSet {
+	srcs := make([]rng.Source, n)
+	for i := range srcs {
+		srcs[i] = baselines.NewSplitMix64(baselines.Mix64(seed + uint64(i)*0x9E3779B97F4A7C15))
+	}
+	return FromSources("fixture", srcs)
+}
+
+// unitConfig is a small, fast profile for fixture tests: prefix
+// checks only (the interleaved batteries get their own tests).
+func unitConfig() Config {
+	return Config{
+		Profile:     "unit",
+		Prefix:      256,
+		CorrWords:   192,
+		Lags:        []int{0, 1, 2},
+		AliasWindow: 32,
+		AliasStride: 16,
+	}
+}
+
+// sliceSource replays a fixed word slice (and falls back to a
+// generator when exhausted, so battery over-reads never panic).
+type sliceSource struct {
+	words []uint64
+	i     int
+	tail  rng.Source
+}
+
+func (s *sliceSource) Uint64() uint64 {
+	if s.i < len(s.words) {
+		v := s.words[s.i]
+		s.i++
+		return v
+	}
+	return s.tail.Uint64()
+}
+
+func newSliceSource(words []uint64, tailSeed uint64) *sliceSource {
+	return &sliceSource{words: words, tail: baselines.NewSplitMix64(tailSeed)}
+}
+
+func findCheck(t *testing.T, r *Report, name string) Check {
+	t.Helper()
+	for _, c := range r.Checks {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("report has no check %q: %+v", name, r.Checks)
+	return Check{}
+}
+
+func TestCrossStreamCleanEnsemblePasses(t *testing.T) {
+	r, err := Run(fixtureSet(64, 1), unitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Findings) != 0 {
+		t.Fatalf("clean ensemble produced findings: %v", r.Findings)
+	}
+	if r.Passed != r.Total || r.Total < 6 {
+		t.Fatalf("passed %d of %d checks", r.Passed, r.Total)
+	}
+}
+
+// TestCrossStreamCatchesDuplicateSeeds is the injected counter-reuse
+// bug fixture from the acceptance criteria: two workers seeded
+// identically must be caught by the aliasing test, by name.
+func TestCrossStreamCatchesDuplicateSeeds(t *testing.T) {
+	set := fixtureSet(64, 2)
+	// Worker 41 reuses worker 7's seed — byte-identical streams.
+	w := uint64(7)
+	set.Sources[41] = baselines.NewSplitMix64(baselines.Mix64(2 + w*0x9E3779B97F4A7C15))
+	r, err := Run(set, unitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias := findCheck(t, r, "prefix-aliasing")
+	if alias.Pass {
+		t.Fatalf("duplicate-seeded streams not flagged: %s", alias.Detail)
+	}
+	if !strings.Contains(alias.Detail, "fixture[7]") || !strings.Contains(alias.Detail, "fixture[41]") {
+		t.Errorf("finding does not name the aliased streams: %s", alias.Detail)
+	}
+	// The identical pair also saturates the correlation extreme.
+	if corr := findCheck(t, r, "pairwise-correlation-extreme"); corr.Pass {
+		t.Errorf("identical streams passed correlation: %s", corr.Detail)
+	}
+}
+
+// TestCrossStreamCatchesOffsetCopy: one stream is another advanced
+// by a fixed word count — the "two walkers share one counter at an
+// offset" failure. The windowed fingerprints must land on it.
+func TestCrossStreamCatchesOffsetCopy(t *testing.T) {
+	set := fixtureSet(32, 3)
+	base := baselines.NewSplitMix64(12345)
+	shared := make([]uint64, 512+32)
+	for i := range shared {
+		shared[i] = base.Uint64()
+	}
+	set.Sources[4] = newSliceSource(shared, 90)
+	set.Sources[19] = newSliceSource(shared[32:], 91) // same stream, 32 words ahead
+	r, err := Run(set, unitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias := findCheck(t, r, "prefix-aliasing")
+	if alias.Pass {
+		t.Fatalf("offset stream copy not flagged: %s", alias.Detail)
+	}
+	if !strings.Contains(alias.Detail, "fixture[4]") || !strings.Contains(alias.Detail, "fixture[19]") {
+		t.Errorf("finding does not name the offset-aliased streams: %s", alias.Detail)
+	}
+}
+
+// TestCrossStreamCatchesLagCorrelation: a stream that is a one-word-
+// lagged near-copy (one bit flipped per word, so no window is ever
+// byte-identical) must fall to the correlation check, not the
+// aliasing one — the two checks cover different failure shapes.
+func TestCrossStreamCatchesLagCorrelation(t *testing.T) {
+	set := fixtureSet(32, 4)
+	base := baselines.NewSplitMix64(777)
+	shared := make([]uint64, 512)
+	for i := range shared {
+		shared[i] = base.Uint64()
+	}
+	lagged := make([]uint64, len(shared)-1)
+	for i := range lagged {
+		lagged[i] = shared[i+1] ^ 1 // never identical, massively correlated
+	}
+	set.Sources[10] = newSliceSource(shared, 92)
+	set.Sources[11] = newSliceSource(lagged, 93)
+	r, err := Run(set, unitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alias := findCheck(t, r, "prefix-aliasing"); !alias.Pass {
+		t.Errorf("near-copy should not alias byte-identically: %s", alias.Detail)
+	}
+	corr := findCheck(t, r, "pairwise-correlation-extreme")
+	if corr.Pass {
+		t.Fatalf("lagged near-copy not flagged by correlation: %s", corr.Detail)
+	}
+	if !strings.Contains(corr.Detail, "(10, 11)") || !strings.Contains(corr.Detail, "lag 1") {
+		t.Errorf("correlation finding does not localise the pair and lag: %s", corr.Detail)
+	}
+}
+
+// TestCrossStreamCatchesCollapsedFirstOutputs: every stream starting
+// from the same first word is the degenerate-initialization
+// signature; occupancy and bit-balance both must fire even though no
+// full window aliases.
+func TestCrossStreamCatchesCollapsedFirstOutputs(t *testing.T) {
+	set := fixtureSet(64, 5)
+	for i, s := range set.Sources {
+		words := make([]uint64, 4)
+		words[0] = 0xDEADBEEFCAFE0000 // shared first output
+		g := s
+		for j := 1; j < len(words); j++ {
+			words[j] = g.Uint64()
+		}
+		set.Sources[i] = &sliceSource{words: words, tail: g}
+	}
+	r, err := Run(set, unitConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ := findCheck(t, r, "first-output-occupancy"); occ.Pass {
+		t.Errorf("collapsed first outputs passed occupancy: %s", occ.Detail)
+	}
+	if bal := findCheck(t, r, "first-output-balance"); bal.Pass {
+		t.Errorf("collapsed first outputs passed bit balance: %s", bal.Detail)
+	}
+}
+
+// TestCrossStreamAvalancheCatchesDeadSeedBits: an initialization
+// pipeline that ignores the low seed bits produces identical streams
+// for adjacent seeds — the avalanche extreme must collapse.
+func TestCrossStreamAvalancheCatchesDeadSeedBits(t *testing.T) {
+	badInit := func(seed uint64, words int) ([]uint64, error) {
+		g := baselines.NewSplitMix64(seed >> 4) // low 4 seed bits dead
+		out := make([]uint64, words)
+		for i := range out {
+			out[i] = g.Uint64()
+		}
+		return out, nil
+	}
+	cs, err := Avalanche(AvalancheConfig{Stream: badInit, BaseSeed: 100, Seeds: 32, Words: 64}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs[0].Pass {
+		t.Fatalf("dead seed bits passed avalanche: %s", cs[0].Detail)
+	}
+
+	goodInit := func(seed uint64, words int) ([]uint64, error) {
+		g := baselines.NewSplitMix64(baselines.Mix64(seed))
+		out := make([]uint64, words)
+		for i := range out {
+			out[i] = g.Uint64()
+		}
+		return out, nil
+	}
+	cs, err = Avalanche(AvalancheConfig{Stream: goodInit, BaseSeed: 100, Seeds: 32, Words: 64}, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cs {
+		if !c.Pass {
+			t.Errorf("healthy init failed avalanche: %s: %s", c.Name, c.Detail)
+		}
+	}
+}
+
+// TestCrossStreamInterleavedClean: the composite of a healthy
+// ensemble must clear both single-stream batteries at the calibrated
+// bars.
+func TestCrossStreamInterleavedClean(t *testing.T) {
+	cfg := unitConfig()
+	cfg.DiehardScale = 0.5
+	cfg.SmallCrush = true
+	r, err := Run(fixtureSet(16, 6), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"interleaved-diehard", "interleaved-smallcrush"} {
+		if c := findCheck(t, r, name); !c.Pass {
+			t.Errorf("%s failed on a clean ensemble: %s", name, c.Detail)
+		}
+	}
+}
+
+func TestCrossStreamConfigValidation(t *testing.T) {
+	if _, err := Run(fixtureSet(1, 7), unitConfig()); err == nil {
+		t.Error("single-stream battery must be rejected")
+	}
+	cfg := unitConfig()
+	cfg.CorrWords = cfg.Prefix // no room for lags
+	if _, err := Run(fixtureSet(4, 7), cfg); err == nil {
+		t.Error("correlation window + lag > prefix must be rejected")
+	}
+	cfg = unitConfig()
+	cfg.Lags = []int{-1}
+	if _, err := Run(fixtureSet(4, 7), cfg); err == nil {
+		t.Error("negative lag must be rejected")
+	}
+	cfg = unitConfig()
+	cfg.AliasWindow = cfg.Prefix + 1
+	if _, err := Run(fixtureSet(4, 7), cfg); err == nil {
+		t.Error("alias window > prefix must be rejected")
+	}
+	set := fixtureSet(4, 7)
+	set.Names = set.Names[:2]
+	if _, err := Run(set, unitConfig()); err == nil {
+		t.Error("name/source length mismatch must be rejected")
+	}
+}
+
+// TestCrossStreamPairSelection pins the sampling contract: full
+// enumeration under budget, adjacent pairs always present over
+// budget, and determinism.
+func TestCrossStreamPairSelection(t *testing.T) {
+	if got := len(selectPairs(64, 0, 1)); got != 64*63/2 {
+		t.Errorf("full enumeration: %d pairs, want %d", got, 64*63/2)
+	}
+	ps := selectPairs(100, 500, 42)
+	if len(ps) != 500 {
+		t.Fatalf("sampled %d pairs, want 500", len(ps))
+	}
+	have := make(map[[2]int]bool, len(ps))
+	for _, p := range ps {
+		if p[0] >= p[1] {
+			t.Fatalf("unnormalised pair %v", p)
+		}
+		if have[p] {
+			t.Fatalf("duplicate pair %v", p)
+		}
+		have[p] = true
+	}
+	for i := 0; i+1 < 100; i++ {
+		if !have[[2]int{i, i + 1}] {
+			t.Fatalf("adjacent pair (%d, %d) missing from sample", i, i+1)
+		}
+	}
+	ps2 := selectPairs(100, 500, 42)
+	for i := range ps {
+		if ps[i] != ps2[i] {
+			t.Fatal("pair sampling is not deterministic")
+		}
+	}
+}
+
+func TestCrossStreamShortProfileShape(t *testing.T) {
+	for _, cfg := range []Config{ShortProfile(), LongProfile()} {
+		if err := cfg.validate(256); err != nil {
+			t.Errorf("%s profile invalid: %v", cfg.Profile, err)
+		}
+	}
+	if ShortProfile().MaxPairs != 0 {
+		t.Error("short profile must correlate every pair")
+	}
+	if LongProfile().MaxPairs == 0 {
+		t.Error("long profile must cap the pair budget")
+	}
+}

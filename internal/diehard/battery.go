@@ -157,6 +157,16 @@ func RunBattery(name string, src rng.Source, cfg Config) Outcome {
 	return out
 }
 
+// RunBatteryInterleaved runs the battery against the round-robin
+// interleaving of srcs — the multi-source adapter the cross-stream
+// battery (internal/crossstream) feeds ensembles of parallel streams
+// through. Inter-stream defects (aliased streams, lag correlation, a
+// shared bad prefix) become serial structure of the composite
+// stream, which the classic tests were built to catch.
+func RunBatteryInterleaved(name string, srcs []rng.Source, cfg Config) Outcome {
+	return RunBattery(name, rng.Interleave(srcs...), cfg)
+}
+
 // RunOne runs a single named test.
 func RunOne(name string, src rng.Source, cfg Config) (Result, error) {
 	cfg = cfg.withDefaults()

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBinomialSurvival(t *testing.T) {
+	// Exact hand-computed values for small n.
+	cases := []struct {
+		n, k int
+		p    float64
+		want float64
+	}{
+		{15, 0, 0.02, 1},
+		{15, 16, 0.02, 0},
+		{4, 4, 0.5, 1.0 / 16},
+		{4, 3, 0.5, 5.0 / 16},
+		{15, 1, 0.02, 1 - math.Pow(0.98, 15)},
+		{15, 2, 0.02, 1 - math.Pow(0.98, 15) - 15*0.02*math.Pow(0.98, 14)},
+	}
+	for _, c := range cases {
+		got := BinomialSurvival(c.n, c.k, c.p)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BinomialSurvival(%d, %d, %g) = %.15f, want %.15f", c.n, c.k, c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(BinomialSurvival(10, 3, math.NaN())) {
+		t.Error("NaN p must propagate")
+	}
+	if !math.IsNaN(BinomialSurvival(-1, 0, 0.5)) {
+		t.Error("negative n must yield NaN")
+	}
+}
+
+func TestRequiredPassesCalibration(t *testing.T) {
+	// The two battery configurations quality_long_test.go used to
+	// hardcode as "≥ 14 of 15": one borderline band failure is within
+	// tolerance, two are not.
+	if got := RequiredPasses(15, 0.02, 0.05); got != 14 {
+		t.Errorf("DIEHARD band: RequiredPasses(15, 0.02, 0.05) = %d, want 14", got)
+	}
+	if got := RequiredPasses(15, 0.01, 0.05); got != 14 {
+		t.Errorf("TestU01 band: RequiredPasses(15, 0.01, 0.05) = %d, want 14", got)
+	}
+	// A stricter battery alpha demands more passes, a looser one
+	// fewer; the requirement is monotone in both directions.
+	if a, b := RequiredPasses(15, 0.02, 0.3), RequiredPasses(15, 0.02, 0.001); a < b {
+		t.Errorf("looser battery alpha demands more passes: %d < %d", a, b)
+	}
+	if a, b := RequiredPasses(15, 0.001, 0.05), RequiredPasses(15, 0.2, 0.05); a < b {
+		t.Errorf("noisier tests demand more passes: %d < %d", a, b)
+	}
+	// Degenerate sizes.
+	if got := RequiredPasses(0, 0.02, 0.05); got != 0 {
+		t.Errorf("empty battery requires %d passes", got)
+	}
+	// A battery alpha so tight no failure is tolerable requires a
+	// clean sweep.
+	if got := RequiredPasses(15, 0.02, 1e-9); got > 15 {
+		t.Errorf("required passes %d exceeds battery size", got)
+	}
+}
+
+func TestRequiredPassesNeverExceedsTotal(t *testing.T) {
+	for total := 1; total <= 64; total++ {
+		for _, alpha := range []float64{0.001, 0.01, 0.02, 0.1} {
+			got := RequiredPasses(total, alpha, 0.05)
+			if got < 0 || got > total {
+				t.Fatalf("RequiredPasses(%d, %g, 0.05) = %d outside [0, %d]", total, alpha, got, total)
+			}
+			// The chosen tolerance must actually meet the battery
+			// alpha: P[passes < got] ≤ 0.05 under H0.
+			f := total - got
+			if s := BinomialSurvival(total, f+1, alpha); s > 0.05+1e-12 {
+				t.Fatalf("RequiredPasses(%d, %g): residual false-alarm %.4f > 0.05", total, alpha, s)
+			}
+		}
+	}
+}
+
+func TestBonferroniZ(t *testing.T) {
+	// m = 1 reduces to the plain two-sided threshold.
+	if z := BonferroniZ(1, 0.05); math.Abs(z-1.959963984540054) > 1e-9 {
+		t.Errorf("BonferroniZ(1, 0.05) = %.12f, want 1.96", z)
+	}
+	// More comparisons push the threshold up.
+	z1, z2 := BonferroniZ(10, 0.01), BonferroniZ(100000, 0.01)
+	if z2 <= z1 {
+		t.Errorf("threshold must grow with m: %.3f vs %.3f", z1, z2)
+	}
+	if z2 < 5 || z2 > 7 {
+		t.Errorf("BonferroniZ(1e5, 0.01) = %.3f outside sane range", z2)
+	}
+}

@@ -106,6 +106,14 @@ func (b Battery) Run(generator string, src rng.Source) Outcome {
 	return out
 }
 
+// RunInterleaved executes the battery against the round-robin
+// interleaving of srcs — the multi-source adapter the cross-stream
+// battery feeds stream ensembles through (see
+// diehard.RunBatteryInterleaved for the rationale).
+func (b Battery) RunInterleaved(generator string, srcs []rng.Source) Outcome {
+	return b.Run(generator, rng.Interleave(srcs...))
+}
+
 // sizes parameterises one battery's sample scales.
 type sizes struct {
 	rep        int // generic repetition multiplier

@@ -734,6 +734,30 @@ func (p *Pool) healthyShards() []*poolShard {
 // Shards returns the shard count (always a power of two).
 func (p *Pool) Shards() int { return len(p.shards) }
 
+// ShardFill writes len(dst) words drawn from shard i alone — the
+// audit probe the cross-stream battery (internal/crossstream) uses to
+// treat each shard as its own stream. Unlike Fill, nothing is striped
+// across shards and no failover happens: if shard i is not serving,
+// dst is zeroed and the shard's health error is returned. The ring's
+// buffered words stay put for Uint64 callers; ShardFill draws
+// straight from the walker, so it observes the same stream Fill-style
+// bulk callers would.
+func (p *Pool) ShardFill(i int, dst []uint64) error {
+	if i < 0 || i >= len(p.shards) {
+		zeroWords(dst)
+		return fmt.Errorf("hybridprng: shard %d outside [0, %d)", i, len(p.shards))
+	}
+	s := p.shards[i]
+	if s.fill(dst) {
+		return nil
+	}
+	zeroWords(dst)
+	if err := s.healthErr(); err != nil {
+		return fmt.Errorf("hybridprng: shard %d not serving: %w", i, err)
+	}
+	return fmt.Errorf("hybridprng: shard %d not serving", i)
+}
+
 // Health cheaply reports how many shards are currently serving out of
 // the total — one atomic load per shard, no locks — so per-request
 // paths (the server stamps X-Pool-Degraded on every draw response)
