@@ -3,7 +3,7 @@
 
 GOPATH_BIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint lint-vet fmt check battery-short battery-long bench-seed
+.PHONY: build test race lint lint-vet fmt check battery-short battery-long bench-seed bench-gate
 
 build:
 	go build ./...
@@ -39,11 +39,27 @@ battery-long:
 	go run ./cmd/crossstream -long -out BENCH_battery_long.json
 
 ## bench-seed: regenerate the committed benchmark/quality
-## trajectories (BENCH_quality.json, BENCH_pool.json).
+## trajectories. The BENCH_*.json files are merge-appended: the fresh
+## run becomes the top level and the previous run is pushed onto the
+## bounded history list, so the committed file shows the PR-over-PR
+## trajectory, not just the latest point.
 bench-seed:
 	go run ./cmd/crossstream -out BENCH_quality.json
 	go test -run '^$$' -bench 'BenchmarkPool|BenchmarkGetNextRand' -benchtime 0.5s . \
-		| go run ./cmd/benchseed -out BENCH_pool.json
+		| go run ./cmd/benchseed -out BENCH_pool.json -merge
+	go test -run '^$$' -bench 'BenchmarkServe' -benchtime 0.5s ./internal/server \
+		| go run ./cmd/benchseed -out BENCH_server.json -merge
+
+## bench-gate: run the core/pool/server benchmark families against
+## the committed trajectories and fail on regression — any new
+## steady-state alloc/op (machine-independent), or >10% ns/op on the
+## same cpu as the committed baseline (cross-machine wall-clock is
+## noise and is not gated).
+bench-gate:
+	go test -run '^$$' -bench 'BenchmarkPool|BenchmarkGetNextRand' -benchtime 0.5s . \
+		| go run ./cmd/benchseed -gate BENCH_pool.json
+	go test -run '^$$' -bench 'BenchmarkServe' -benchtime 0.5s ./internal/server \
+		| go run ./cmd/benchseed -gate BENCH_server.json
 
 ## check: everything a merge gate checks that runs offline.
 check: build lint test race

@@ -360,4 +360,31 @@ func BenchmarkPool(b *testing.B) {
 			}
 		}
 	})
+	// The wide-pool rows measure the batched refill kernel at full
+	// lane width: sixteen shards give Fill a whole sixteen-lane
+	// lockstep group per sweep, against shard-fill-8KiB's one-walk
+	// scalar refill above.
+	p16, err := NewPool(WithSeed(1), WithShards(16))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fill-8KiB-x16", func(b *testing.B) {
+		b.SetBytes(8 * 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p16.Fill(dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	buf := make([]byte, 8*1024)
+	b.Run("fill-bytes-8KiB-x16", func(b *testing.B) {
+		b.SetBytes(8 * 1024)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := p16.FillBytes(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -5,10 +5,25 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench Pool . | benchseed -out BENCH_pool.json
+//	go test -run '^$' -bench Pool . | benchseed -out BENCH_pool.json -merge
+//	go test -run '^$' -bench Pool . | benchseed -gate BENCH_pool.json
 //
 // Metadata lines (goos/goarch/cpu/pkg) are captured alongside each
 // benchmark's ns/op, MB/s, allocs and custom metrics (e.g. sim-ms).
+//
+// With -merge, the previous contents of the -out file are pushed onto
+// a bounded history list instead of being thrown away, so the
+// committed file is a trajectory: the top-level meta/benchmarks are
+// always the freshest run (old readers keep working), history[] holds
+// the prior runs, oldest first, capped at historyCap.
+//
+// With -gate FILE, nothing is written: the fresh run on stdin is
+// compared against FILE's top-level benchmarks and the process exits
+// 1 when a benchmark regresses — any increase in allocs/op
+// (allocation regressions are machine-independent), or ns/op more
+// than -tol (default 10%) above the baseline when the baseline was
+// recorded on the same cpu (wall-clock comparisons across different
+// machines are noise, not signal).
 package main
 
 import (
@@ -31,7 +46,21 @@ type benchmark struct {
 type seedFile struct {
 	Meta       map[string]string `json:"meta"`
 	Benchmarks []benchmark       `json:"benchmarks"`
+	History    []run             `json:"history,omitempty"`
 }
+
+// run is one archived entry of the trajectory: the meta/benchmarks
+// pair that used to be the file's top level before a newer run
+// displaced it.
+type run struct {
+	Meta       map[string]string `json:"meta"`
+	Benchmarks []benchmark       `json:"benchmarks"`
+}
+
+// historyCap bounds the committed trajectory length; beyond it the
+// oldest runs fall off. A dozen PRs of history is enough to eyeball a
+// trend without the JSON growing forever.
+const historyCap = 12
 
 func parse(r io.Reader) (*seedFile, error) {
 	out := &seedFile{Meta: map[string]string{}}
@@ -91,14 +120,109 @@ func parseBench(line string) (benchmark, error) {
 	return b, nil
 }
 
+// mergeHistory folds the previous contents of the trajectory file
+// into cur: the old top-level run is appended to the history (oldest
+// first), capped at historyCap; prior history is carried over. A
+// missing file is a fresh trajectory, not an error.
+func mergeHistory(prev []byte, cur *seedFile) error {
+	var old seedFile
+	if err := json.Unmarshal(prev, &old); err != nil {
+		return fmt.Errorf("existing trajectory: %v", err)
+	}
+	hist := append(old.History, run{Meta: old.Meta, Benchmarks: old.Benchmarks})
+	if len(hist) > historyCap {
+		hist = hist[len(hist)-historyCap:]
+	}
+	cur.History = hist
+	return nil
+}
+
+// gate compares a fresh run against the committed baseline and
+// returns one line per regression. Allocation counts gate
+// unconditionally — a steady-state alloc/op is a code property, not a
+// machine property. Wall-clock (ns/op) gates only when the baseline
+// was recorded on the same cpu string; cross-machine timing deltas
+// are noise. Benchmarks present on only one side are ignored: adding
+// or retiring a benchmark is not a regression.
+func gate(baseline, fresh *seedFile, tol float64) []string {
+	var fails []string
+	sameCPU := baseline.Meta["cpu"] != "" && baseline.Meta["cpu"] == fresh.Meta["cpu"]
+	byName := make(map[string]benchmark, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		byName[b.Name] = b
+	}
+	for _, nb := range fresh.Benchmarks {
+		ob, ok := byName[nb.Name]
+		if !ok {
+			continue
+		}
+		if oa, okO := ob.Metrics["allocs/op"]; okO {
+			if na, okN := nb.Metrics["allocs/op"]; okN && na > oa {
+				fails = append(fails, fmt.Sprintf(
+					"%s: allocs/op %g -> %g (any new steady-state allocation fails the gate)",
+					nb.Name, oa, na))
+			}
+		}
+		if !sameCPU {
+			continue
+		}
+		if ons, okO := ob.Metrics["ns/op"]; okO && ons > 0 {
+			if nns, okN := nb.Metrics["ns/op"]; okN && nns > ons*(1+tol) {
+				fails = append(fails, fmt.Sprintf(
+					"%s: ns/op %g -> %g (+%.1f%%, tolerance %.0f%%)",
+					nb.Name, ons, nns, (nns/ons-1)*100, tol*100))
+			}
+		}
+	}
+	return fails
+}
+
 func main() {
 	out := flag.String("out", "", "write JSON to this file (default stdout)")
+	merge := flag.Bool("merge", false, "fold the previous contents of -out into a bounded history instead of overwriting")
+	gateFile := flag.String("gate", "", "compare stdin against this trajectory file and exit 1 on regression; writes nothing")
+	tol := flag.Float64("tol", 0.10, "ns/op regression tolerance for -gate (same-cpu baselines only)")
 	flag.Parse()
 
 	seed, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchseed: %v\n", err)
 		os.Exit(1)
+	}
+
+	if *gateFile != "" {
+		blob, err := os.ReadFile(*gateFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchseed: %v\n", err)
+			os.Exit(1)
+		}
+		var baseline seedFile
+		if err := json.Unmarshal(blob, &baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "benchseed: %s: %v\n", *gateFile, err)
+			os.Exit(1)
+		}
+		fails := gate(&baseline, seed, *tol)
+		if len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "benchseed: %d regression(s) against %s:\n", len(fails), *gateFile)
+			for _, f := range fails {
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchseed: %d benchmark(s) within gate against %s\n", len(seed.Benchmarks), *gateFile)
+		return
+	}
+
+	if *merge && *out != "" {
+		if prev, err := os.ReadFile(*out); err == nil {
+			if err := mergeHistory(prev, seed); err != nil {
+				fmt.Fprintf(os.Stderr, "benchseed: %s: %v\n", *out, err)
+				os.Exit(1)
+			}
+		} else if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchseed: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	enc, err := json.MarshalIndent(seed, "", "  ")
 	if err != nil {

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/bits"
 	"os"
 	"strings"
@@ -258,13 +259,21 @@ func summarize(workers []*worker, elapsed time.Duration, mode string) report {
 	return rep
 }
 
-// percentile reads the q-quantile out of the merged log2 histogram,
-// interpolating linearly inside the bucket that crosses the rank.
+// percentile reads the q-quantile out of the merged log2 histogram:
+// the nearest-rank sample (the ⌈q·total⌉-th smallest), placed at the
+// midpoint of its 1/n slice of the bucket span. An earlier version
+// truncated the rank — so P99 of exactly 100 samples read the
+// maximum, one sample too deep into the tail — and interpolated from
+// the bucket floor, which pinned sparse tail buckets to their lower
+// bound and biased tail percentiles low by up to 2×.
 func percentile(hist *[64]uint64, total uint64, q float64) int64 {
 	if total == 0 {
 		return 0
 	}
-	rank := uint64(q * float64(total))
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank > 0 {
+		rank-- // 1-based nearest rank → 0-based sample index
+	}
 	if rank >= total {
 		rank = total - 1
 	}
@@ -275,7 +284,7 @@ func percentile(hist *[64]uint64, total uint64, q float64) int64 {
 		}
 		if seen+n > rank {
 			lo := int64(1) << b // bucket b holds ns in [2^b, 2^(b+1))
-			frac := float64(rank-seen) / float64(n)
+			frac := (float64(rank-seen) + 0.5) / float64(n)
 			return lo + int64(frac*float64(lo))
 		}
 		seen += n

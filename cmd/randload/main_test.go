@@ -1,0 +1,108 @@
+package main
+
+import (
+	"math/bits"
+	"testing"
+	"time"
+)
+
+// synth builds the merged histogram a fleet of workers would produce
+// from a known list of latencies, going through the same record()
+// path the live load generator uses.
+func synth(latenciesNs []int64) (*[64]uint64, uint64) {
+	var w worker
+	for _, ns := range latenciesNs {
+		w.record(time.Duration(ns))
+	}
+	return &w.hist, uint64(len(latenciesNs))
+}
+
+// bucketOf returns the log2 bucket a latency lands in, mirroring
+// record()'s binning.
+func bucketOf(ns int64) int {
+	if ns < 1 {
+		ns = 1
+	}
+	return bits.Len64(uint64(ns)) - 1
+}
+
+// inBucket asserts the estimate lands inside the bucket of the true
+// nearest-rank sample — the histogram's native resolution, so any
+// tighter assertion would test the interpolation convention rather
+// than correctness.
+func inBucket(t *testing.T, name string, est, truth int64) {
+	t.Helper()
+	b := bucketOf(truth)
+	lo, hi := int64(1)<<b, int64(1)<<(b+1)
+	if est < lo || est >= hi {
+		t.Errorf("%s: estimate %d outside [%d, %d), the bucket of the true nearest-rank sample %d",
+			name, est, lo, hi, truth)
+	}
+}
+
+// TestPercentileNearestRank pins the off-by-one the old floor-based
+// rank had: with exactly 100 samples of ~100 ns and a single 1 ms
+// outlier, P99 is the 99th smallest sample — the ~100 ns crowd, not
+// the outlier. The truncating estimator returned the outlier's
+// bucket, 13 doublings too high.
+func TestPercentileNearestRank(t *testing.T) {
+	lat := make([]int64, 0, 100)
+	for i := 0; i < 99; i++ {
+		lat = append(lat, 100) // bucket [64, 128)
+	}
+	lat = append(lat, 1_000_000) // bucket [2^19, 2^20)
+	hist, total := synth(lat)
+
+	inBucket(t, "p50", percentile(hist, total, 0.50), 100)
+	inBucket(t, "p99", percentile(hist, total, 0.99), 100)
+	// The maximum is still reachable: P100 must read the outlier.
+	inBucket(t, "p100", percentile(hist, total, 1.00), 1_000_000)
+}
+
+// TestPercentileMidpoint pins the sparse-bucket bias: a lone sample
+// in a bucket must be estimated strictly inside the bucket span, not
+// pinned to its floor the way start-anchored interpolation pinned it.
+func TestPercentileMidpoint(t *testing.T) {
+	hist, total := synth([]int64{1000}) // bucket [512, 1024)
+	got := percentile(hist, total, 0.50)
+	if got <= 512 {
+		t.Errorf("single-sample bucket: estimate %d pinned at the bucket floor 512", got)
+	}
+	if got >= 1024 {
+		t.Errorf("single-sample bucket: estimate %d escaped the bucket", got)
+	}
+}
+
+// TestPercentileUniform checks the estimator across a spread
+// distribution: ranks must be monotone in q and land in the right
+// buckets for a power-of-two ladder.
+func TestPercentileUniform(t *testing.T) {
+	// Ten samples, one per bucket: 1, 2, 4, ..., 512.
+	var lat []int64
+	for b := 0; b < 10; b++ {
+		lat = append(lat, 1<<b)
+	}
+	hist, total := synth(lat)
+
+	// Nearest rank of q=0.1k is the k-th smallest = 2^(k-1).
+	for k := 1; k <= 10; k++ {
+		q := float64(k) / 10
+		inBucket(t, "ladder", percentile(hist, total, q), 1<<(k-1))
+	}
+	prev := int64(-1)
+	for _, q := range []float64{0.05, 0.25, 0.5, 0.75, 0.95, 1} {
+		got := percentile(hist, total, q)
+		if got < prev {
+			t.Errorf("percentile not monotone: q=%v gave %d after %d", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+// TestPercentileEmpty keeps the zero-draw report well-defined.
+func TestPercentileEmpty(t *testing.T) {
+	var hist [64]uint64
+	if got := percentile(&hist, 0, 0.99); got != 0 {
+		t.Errorf("empty histogram: got %d, want 0", got)
+	}
+}

@@ -57,13 +57,33 @@ func (g *GlibcRand) srandom(seed uint32) {
 
 // step generates the next value r[i] = r[i-31] + r[i-3] of the
 // recurrence and returns it (before the output shift).
+//
+// This is the FEED's innermost operation — the serving stack steps it
+// nine times per 64-bit feed word — so the three cursor reductions
+// are conditional subtracts (k is always < 34, so k+31 < 68 needs at
+// most one) rather than the modulo operations an earlier version
+// used, which cost a magic-number multiply each and dominated bulk
+// fill profiles.
 func (g *GlibcRand) step() uint32 {
 	// Slot layout: g.buf holds r[i-34..i-1]; with write cursor k
 	// (= i mod 34), r[i-31] sits at (k+3) mod 34 and r[i-3] at
 	// (k+31) mod 34.
-	v := g.buf[(g.k+3)%34] + g.buf[(g.k+31)%34]
-	g.buf[g.k] = v
-	g.k = (g.k + 1) % 34
+	k := g.k
+	i3 := k + 3
+	if i3 >= 34 {
+		i3 -= 34
+	}
+	i31 := k + 31
+	if i31 >= 34 {
+		i31 -= 34
+	}
+	v := g.buf[i3] + g.buf[i31]
+	g.buf[k] = v
+	k++
+	if k == 34 {
+		k = 0
+	}
+	g.k = k
 	return v
 }
 
@@ -76,11 +96,49 @@ func (g *GlibcRand) Random() int32 {
 // Uint64 assembles a 64-bit word from three 31-bit outputs (93 bits
 // drawn, the surplus discarded), preserving the generator's native
 // statistical signature.
+//
+// The three recurrence steps are unrolled with the cursor kept in a
+// local, so the per-call cost is three adds and one cursor store —
+// this is the FEED's bulk entry point and shows up directly in pool
+// refill throughput.
 func (g *GlibcRand) Uint64() uint64 {
-	a := uint64(uint32(g.Random()))
-	b := uint64(uint32(g.Random()))
-	c := uint64(uint32(g.Random()))
-	return a<<33 | b<<2 | c&3
+	k := g.k
+	i3, i31 := k+3, k+31
+	if i3 >= 34 {
+		i3 -= 34
+	}
+	if i31 >= 34 {
+		i31 -= 34
+	}
+	a := g.buf[i3] + g.buf[i31]
+	g.buf[k] = a
+	if i3++; i3 == 34 {
+		i3 = 0
+	}
+	if i31++; i31 == 34 {
+		i31 = 0
+	}
+	if k++; k == 34 {
+		k = 0
+	}
+	b := g.buf[i3] + g.buf[i31]
+	g.buf[k] = b
+	if i3++; i3 == 34 {
+		i3 = 0
+	}
+	if i31++; i31 == 34 {
+		i31 = 0
+	}
+	if k++; k == 34 {
+		k = 0
+	}
+	c := g.buf[i3] + g.buf[i31]
+	g.buf[k] = c
+	if k++; k == 34 {
+		k = 0
+	}
+	g.k = k
+	return uint64(a>>1)<<33 | uint64(b>>1)<<2 | uint64(c>>1)&3
 }
 
 // Seed implements rng.Seeder.

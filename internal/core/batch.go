@@ -1,0 +1,240 @@
+package core
+
+import (
+	"repro/internal/expander"
+	"repro/internal/rng"
+)
+
+// MaxBatchLanes is the widest lockstep batch the batched kernel
+// advances per loop iteration. Sixteen independent walks are enough
+// to hide the ~8-cycle serial dependency of one Gabber–Galil step
+// behind the CPU's out-of-order window; wider batches spill the lane
+// state out of registers/L1 without buying more ILP.
+const MaxBatchLanes = 16
+
+// FillBatch fills dst[i] with len(dst[i]) successive numbers from
+// ws[i], advancing the walkers in lockstep: each loop iteration of
+// the kernel performs one step of up to MaxBatchLanes *independent*
+// walks, so the hardware pipelines stay full instead of stalling on
+// one walk's serial x→y→x dependency chain. This is the blocked-
+// generation idiom MTGP uses to keep GPU pipelines busy, applied to
+// a superscalar CPU core.
+//
+// Every walker consumes its own feed bits in exactly the order the
+// scalar Next/Fill path consumes them (per number: the 63-bit chunk
+// reads, then the 3-bit tail steps), so per-walker output is bitwise
+// identical to calling ws[i].Fill(dst[i]) — batching is a pure
+// reordering of independent walks, never a different stream. Lanes
+// whose dst is shorter simply retire early; ragged batch shapes are
+// fine.
+//
+// ws and dst must have equal length and the walkers must be
+// distinct; no walker may be used concurrently elsewhere during the
+// call. Walkers on small analysis graphs, or whose WalkLen differs
+// from the first full-graph lane's, fall back to their scalar Fill
+// (same output, no lockstep speedup).
+func FillBatch(ws []*Walker, dst [][]uint64) {
+	if len(ws) != len(dst) {
+		panic("core: FillBatch lane count mismatch")
+	}
+	for start := 0; start < len(ws); start += MaxBatchLanes {
+		end := start + MaxBatchLanes
+		if end > len(ws) {
+			end = len(ws)
+		}
+		fillBatchGroup(ws[start:end], dst[start:end])
+	}
+}
+
+// fillBatchGroup runs one ≤MaxBatchLanes lockstep group. Lanes that
+// cannot join the lockstep kernel (small graph, mismatched walk
+// length) are filled scalar first; the rest share the batched loop.
+func fillBatchGroup(ws []*Walker, dst [][]uint64) {
+	// The group's lockstep walk length is the first full-graph lane's.
+	walkLen := 0
+	for _, w := range ws {
+		if w.full {
+			walkLen = w.cfg.WalkLen
+			break
+		}
+	}
+
+	var (
+		lanes [MaxBatchLanes]*Walker
+		x, y  [MaxBatchLanes]uint32
+		word  [MaxBatchLanes]uint64
+		bits  [MaxBatchLanes]*rng.BitReader
+		outs  [MaxBatchLanes][]uint64
+	)
+	n := 0
+	for i, w := range ws {
+		if len(dst[i]) == 0 {
+			continue
+		}
+		if !w.full || w.cfg.WalkLen != walkLen {
+			w.Fill(dst[i])
+			continue
+		}
+		lanes[n] = w
+		x[n], y[n] = w.pos.X, w.pos.Y
+		bits[n] = w.bits
+		outs[n] = dst[i]
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	if n < 4 {
+		// Too few lockstep lanes to pay for the batched loop; the
+		// scalar path is faster and bit-identical.
+		for i := 0; i < n; i++ {
+			lanes[i].Fill(outs[i])
+		}
+		return
+	}
+
+	chunks := walkLen / stepsPerChunk
+	tail := walkLen % stepsPerChunk
+	for n > 0 {
+		// One number per active lane: the chunked fast path first
+		// (21 aligned 3-bit fields per 63-bit feed read), then the
+		// per-step tail — the same per-walker feed order as walk().
+		for c := 0; c < chunks; c++ {
+			for j := 0; j < n; j++ {
+				word[j] = bits[j].Bits(chunkBits)
+			}
+			// Octets go through the AVX2 kernel (one YMM register per
+			// coordinate vector), quads through chunk21x4's register-
+			// resident loop — the memory round-trip per step of the
+			// generic loop below would otherwise serialise right back
+			// onto the walk's dependency chain.
+			j := 0
+			if haveStep8 {
+				switch {
+				case n >= 12:
+					// Twelve or more lanes: the fused sixteen-wide
+					// kernel, padded with scratch lanes when under
+					// sixteen. The state arrays are MaxBatchLanes
+					// wide and slots ≥ n are dead (stale or
+					// retired), so computing garbage in them is
+					// harmless — and one fused call overlaps the
+					// two halves' dependency chains, which two
+					// back-to-back eight-wide calls would not.
+					step21x16(&x, &y, &word)
+					j = n
+				case n >= 4:
+					// Four to eleven lanes: one eight-wide call,
+					// scratch-padded below eight; lanes 8-11 pad a
+					// second call rather than drop to the scalar
+					// quad loop.
+					step21x8(
+						(*[8]uint32)(x[0:8]),
+						(*[8]uint32)(y[0:8]),
+						(*[8]uint64)(word[0:8]))
+					if n > 8 {
+						step21x8(
+							(*[8]uint32)(x[8:16]),
+							(*[8]uint32)(y[8:16]),
+							(*[8]uint64)(word[8:16]))
+					}
+					j = n
+				}
+			}
+			for ; j+4 <= n; j += 4 {
+				chunk21x4(
+					(*[4]uint32)(x[j:j+4]),
+					(*[4]uint32)(y[j:j+4]),
+					(*[4]uint64)(word[j:j+4]))
+			}
+			for k := chunkBits - BitsPerStep; k >= 0; k -= BitsPerStep {
+				for jj := j; jj < n; jj++ {
+					b := word[jj] >> uint(k) & 7
+					c0 := stepC[b]
+					yy := y[jj] + (2*x[jj]+c0)&stepMaskY[b]
+					x[jj] += (2*yy + c0) & stepMaskX[b]
+					y[jj] = yy
+				}
+			}
+		}
+		for t := 0; t < tail; t++ {
+			for j := 0; j < n; j++ {
+				b := bits[j].Bits(BitsPerStep)
+				c0 := stepC[b]
+				yy := y[j] + (2*x[j]+c0)&stepMaskY[b]
+				x[j] += (2*yy + c0) & stepMaskX[b]
+				y[j] = yy
+			}
+		}
+		// Emit the endpoint ids; retire lanes whose dst is full by
+		// swapping the last active lane into their slot (the moved
+		// lane has already emitted this round, so the slot is not
+		// re-processed until the next round).
+		for j := 0; j < n; {
+			out := outs[j]
+			out[0] = uint64(x[j])<<32 | uint64(y[j])
+			lanes[j].count++
+			if len(out) == 1 {
+				lanes[j].pos = expander.Vertex{X: x[j], Y: y[j]}
+				n--
+				lanes[j], x[j], y[j], bits[j], outs[j] =
+					lanes[n], x[n], y[n], bits[n], outs[n]
+				lanes[n], bits[n], outs[n] = nil, nil, nil
+				continue
+			}
+			outs[j] = out[1:]
+			j++
+		}
+	}
+}
+
+// chunk21x4 advances four lanes through one 63-bit feed chunk (21
+// steps each). The eight coordinates and four chunk words live in
+// locals for the duration, so each lane's serial x→y→x chain runs
+// register-to-register and the four independent chains overlap in the
+// out-of-order window — this function is where the batched kernel's
+// speedup actually comes from.
+func chunk21x4(x, y *[4]uint32, w *[4]uint64) {
+	x0, x1, x2, x3 := x[0], x[1], x[2], x[3]
+	y0, y1, y2, y3 := y[0], y[1], y[2], y[3]
+	w0, w1, w2, w3 := w[0], w[1], w[2], w[3]
+	for k := chunkBits - BitsPerStep; k >= 0; k -= BitsPerStep {
+		b0 := w0 >> uint(k) & 7
+		b1 := w1 >> uint(k) & 7
+		b2 := w2 >> uint(k) & 7
+		b3 := w3 >> uint(k) & 7
+		c0 := stepC[b0]
+		y0 += (2*x0 + c0) & stepMaskY[b0]
+		x0 += (2*y0 + c0) & stepMaskX[b0]
+		c1 := stepC[b1]
+		y1 += (2*x1 + c1) & stepMaskY[b1]
+		x1 += (2*y1 + c1) & stepMaskX[b1]
+		c2 := stepC[b2]
+		y2 += (2*x2 + c2) & stepMaskY[b2]
+		x2 += (2*y2 + c2) & stepMaskX[b2]
+		c3 := stepC[b3]
+		y3 += (2*x3 + c3) & stepMaskY[b3]
+		x3 += (2*y3 + c3) & stepMaskX[b3]
+	}
+	x[0], x[1], x[2], x[3] = x0, x1, x2, x3
+	y[0], y[1], y[2], y[3] = y0, y1, y2, y3
+}
+
+// NextBatch draws one number from each walker in lockstep, writing
+// ws[i]'s number to out[i] — FillBatch with one word per lane.
+func NextBatch(ws []*Walker, out []uint64) {
+	if len(ws) != len(out) {
+		panic("core: NextBatch lane count mismatch")
+	}
+	var segs [MaxBatchLanes][]uint64
+	for start := 0; start < len(ws); start += MaxBatchLanes {
+		end := start + MaxBatchLanes
+		if end > len(ws) {
+			end = len(ws)
+		}
+		group := segs[:end-start]
+		for i := range group {
+			group[i] = out[start+i : start+i+1]
+		}
+		fillBatchGroup(ws[start:end], group)
+	}
+}

@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 	mathbits "math/bits"
+	"runtime"
 	"sync"
 
 	"repro/internal/expander"
@@ -36,6 +37,16 @@ const (
 // bits select one of the 7 neighbours; the eighth pattern folds into
 // the self-loop).
 const BitsPerStep = 3
+
+// The walk fast path pulls chunkBits feed bits at a time —
+// stepsPerChunk aligned 3-bit fields per read — so the BitReader is
+// consulted once per 21 steps instead of once per step. The batched
+// kernel (batch.go) consumes the same chunk shape, which is what
+// keeps it bit-stream-compatible with the scalar path.
+const (
+	stepsPerChunk = 21
+	chunkBits     = stepsPerChunk * BitsPerStep // 63
+)
 
 // Config parameterises a Walker.
 type Config struct {
@@ -147,13 +158,13 @@ func (w *Walker) walk(l int) {
 	}
 	x, y := pos.X, pos.Y
 	i := 0
-	for l-i >= 21 {
-		word := w.bits.Bits(63) // 21 aligned 3-bit fields
-		for k := 60; k >= 0; k -= 3 {
+	for l-i >= stepsPerChunk {
+		word := w.bits.Bits(chunkBits) // 21 aligned 3-bit fields
+		for k := chunkBits - BitsPerStep; k >= 0; k -= BitsPerStep {
 			b := word >> uint(k) & 7
 			x, y = stepXY(x, y, b)
 		}
-		i += 21
+		i += stepsPerChunk
 	}
 	// Tail steps one field at a time, so exactly 3·l bits are
 	// consumed and the stream stays aligned with the reference
@@ -319,9 +330,17 @@ func (p *Pool) Size() int { return len(p.walkers) }
 func (p *Pool) Walker(i int) *Walker { return p.walkers[i] }
 
 // Fill splits dst into contiguous shards and fills each from its own
-// walker concurrently. The numbers each walker contributes are
-// deterministic given its feed stream; the shard layout is
-// deterministic too, so Fill is reproducible.
+// walker through the batched lockstep kernel (FillBatch). The
+// numbers each walker contributes are deterministic given its feed
+// stream; the shard layout is deterministic too, so Fill is
+// reproducible — and identical to what the old one-goroutine-per-
+// walker scalar path produced.
+//
+// Scheduling: the walkers are partitioned into lockstep groups of up
+// to MaxBatchLanes lanes; groups run on their own goroutines only
+// when spare cores exist, so a single-core host gets one pipelined
+// sweep with no scheduling overhead while a many-core host still
+// saturates every core.
 func (p *Pool) Fill(dst []uint64) {
 	n := len(p.walkers)
 	if len(dst) == 0 {
@@ -331,8 +350,14 @@ func (p *Pool) Fill(dst []uint64) {
 		p.walkers[0].Fill(dst)
 		return
 	}
-	var wg sync.WaitGroup
+	// Contiguous per-walker segments, same layout as always.
+	var segArr [MaxBatchLanes][]uint64
+	segs := segArr[:0]
+	if n > MaxBatchLanes {
+		segs = make([][]uint64, 0, n)
+	}
 	chunk := (len(dst) + n - 1) / n
+	used := 0
 	for i := 0; i < n; i++ {
 		lo := i * chunk
 		if lo >= len(dst) {
@@ -342,13 +367,43 @@ func (p *Pool) Fill(dst []uint64) {
 		if hi > len(dst) {
 			hi = len(dst)
 		}
+		segs = append(segs, dst[lo:hi])
+		used++
+	}
+	groups := fillGroups(used)
+	if groups == 1 {
+		FillBatch(p.walkers[:used], segs)
+		return
+	}
+	per := (used + groups - 1) / groups
+	var wg sync.WaitGroup
+	for g := 0; g < used; g += per {
+		hi := g + per
+		if hi > used {
+			hi = used
+		}
 		wg.Add(1)
-		go func(w *Walker, shard []uint64) {
+		go func(ws []*Walker, ds [][]uint64) {
 			defer wg.Done()
-			w.Fill(shard)
-		}(p.walkers[i], dst[lo:hi])
+			FillBatch(ws, ds)
+		}(p.walkers[g:hi], segs[g:hi])
 	}
 	wg.Wait()
+}
+
+// fillGroups picks how many lockstep groups to run n lanes as: one
+// group per core when lanes are scarce (each group still as wide as
+// possible for ILP), never more groups than lanes, and never fewer
+// than the lane cap forces.
+func fillGroups(lanes int) int {
+	g := runtime.GOMAXPROCS(0)
+	if g > lanes {
+		g = lanes
+	}
+	if min := (lanes + MaxBatchLanes - 1) / MaxBatchLanes; g < min {
+		g = min
+	}
+	return g
 }
 
 // Generated sums the per-walker output counts.

@@ -70,6 +70,77 @@ func (l *leaky) Read(p []byte) (int, error) {
 	return n, nil
 }
 
+// Good: prefixed variants (FillBytes, ReadAt, ...) carry the same
+// contract as the bare verbs.
+func (s *safe) FillBytes(b []byte) error {
+	if !s.src.ok {
+		for i := range b {
+			b[i] = 0
+		}
+		return errDown
+	}
+	return nil
+}
+
+// Bad: a prefixed variant that leaks — the prefix rule must catch it.
+func (l *leaky) FillBytes(b []byte) error {
+	if !l.src.ok {
+		return errDown // want "returns an error without zeroing b"
+	}
+	return nil
+}
+
+// Bad: ShardFill is a draw shape even though the verb is not the
+// prefix.
+func (l *leaky) ShardFill(i int, dst []uint64) error {
+	if !l.src.ok {
+		return errDown // want "returns an error without zeroing dst"
+	}
+	return nil
+}
+
+// Good: zeroing in the enclosing block dominates returns inside
+// nested branches — the analyzer must inherit the state downward,
+// not demand a zero per block.
+func (s *safe) ShardFill(i int, dst []uint64) error {
+	if s.src.ok {
+		copy(dst, s.src.words)
+		return nil
+	}
+	zeroWords(dst)
+	if i < 0 {
+		return errDown
+	}
+	return errDown
+}
+
+// Bad: zeroing inside one conditional branch does not dominate a
+// return after the branch.
+func (l *leaky) FillWords(dst []uint64) error {
+	if !l.src.ok {
+		if len(dst) > 0 {
+			zeroWords(dst)
+		}
+	}
+	if !l.src.ok {
+		return errDown // want "returns an error without zeroing dst"
+	}
+	return nil
+}
+
+// Exempt: Fill/Read as a prefix of an unrelated word must not match…
+// except it does textually (Filler) — the slice-param + error-return
+// shape requirement is what keeps false positives out.
+type ready struct{ ok bool }
+
+// Exempt: no slice parameter, so there is no output buffer to zero.
+func (r *ready) ReadState() error {
+	if !r.ok {
+		return errDown
+	}
+	return nil
+}
+
 // Exempt: unexported helpers delegate zeroing to their exported
 // callers.
 func (l *leaky) fill(dst []uint64) error {

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ZeroFill enforces the draw-path output invariant established in PR
@@ -11,8 +12,12 @@ import (
 // mistake stale (or worse, untrusted post-trip) buffer contents for
 // served randomness.
 //
-// Shapes checked: exported functions/methods named Fill or Read that
-// take a slice parameter and return an error (optionally (n, err)).
+// Shapes checked: exported functions/methods whose name is Fill,
+// Read, ShardFill, or starts with Fill/Read (FillBytes, ReadAt, ...),
+// that take a slice parameter and return an error (optionally
+// (n, err)). The prefix rule keeps new entry points on the serving
+// surface — added as the draw API grows — under the same contract as
+// the originals without a lint change per method.
 // A return handing back a non-nil error is compliant when the
 // enclosing block, before the return, either calls a zeroing helper
 // (any function whose name contains "zero") on the buffer or runs a
@@ -32,7 +37,7 @@ func runZeroFill(pass *Pass) error {
 		if fd.Body == nil || isTestFile(pass.Fset, fd.Pos()) {
 			continue
 		}
-		if fd.Name.Name != "Fill" && fd.Name.Name != "Read" || !fd.Name.IsExported() {
+		if !isDrawShapeName(fd.Name.Name) || !fd.Name.IsExported() {
 			continue
 		}
 		buf := sliceParam(pass, fd)
@@ -42,6 +47,15 @@ func runZeroFill(pass *Pass) error {
 		checkErrorPaths(pass, fd, buf)
 	}
 	return nil
+}
+
+// isDrawShapeName matches the draw-path surface: Fill, Read, any
+// Fill*/Read* variant, and ShardFill (the per-shard audit probe,
+// whose prefix is the shard, not the verb).
+func isDrawShapeName(name string) bool {
+	return strings.HasPrefix(name, "Fill") ||
+		strings.HasPrefix(name, "Read") ||
+		name == "ShardFill"
 }
 
 // sliceParam returns the function's first slice parameter — the
@@ -73,70 +87,152 @@ func returnsError(pass *Pass, fd *ast.FuncDecl) bool {
 	return types.AssignableTo(last, types.Universe.Lookup("error").Type())
 }
 
-// checkErrorPaths walks every block of the body; for each return
-// whose error result is not the nil literal, it demands a zeroing
-// statement earlier in the same block.
+// checkErrorPaths walks the body tracking whether a zeroing
+// statement dominates each return: zeroing seen earlier in the same
+// block — or in an enclosing block before the nested statement was
+// entered — clears every error return it dominates. Zeroing inside a
+// conditional branch does not escape the branch (it is not guaranteed
+// to have run), which is exactly the dominance a reviewer would
+// check by eye.
 func checkErrorPaths(pass *Pass, fd *ast.FuncDecl, buf *types.Var) {
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		block, ok := n.(*ast.BlockStmt)
-		if !ok {
-			return true
-		}
-		zeroedAt := -1 // index of the latest zeroing statement seen
-		for i, stmt := range block.List {
-			if zeroesBuffer(pass, stmt, buf) {
-				zeroedAt = i
-			}
-			ret, ok := stmt.(*ast.ReturnStmt)
-			if !ok || len(ret.Results) == 0 {
+	z := zeroWalker{pass: pass, fd: fd, buf: buf}
+	z.stmts(fd.Body.List, false)
+}
+
+type zeroWalker struct {
+	pass *Pass
+	fd   *ast.FuncDecl
+	buf  *types.Var
+}
+
+// stmts scans one statement list with the zeroed-on-entry state
+// inherited from the enclosing block.
+func (z *zeroWalker) stmts(list []ast.Stmt, zeroed bool) {
+	for _, stmt := range list {
+		if ret, ok := stmt.(*ast.ReturnStmt); ok {
+			if len(ret.Results) == 0 {
 				continue
 			}
 			errExpr := ret.Results[len(ret.Results)-1]
-			if isNilLiteral(pass, errExpr) || zeroedAt >= 0 {
-				continue
+			if !isNilLiteral(z.pass, errExpr) && !zeroed {
+				z.pass.Reportf(ret.Pos(),
+					"%s returns an error without zeroing %s first; stale buffer contents must not be consumable as randomness",
+					z.fd.Name.Name, z.buf.Name())
 			}
-			pass.Reportf(ret.Pos(),
-				"%s returns an error without zeroing %s first; stale buffer contents must not be consumable as randomness",
-				fd.Name.Name, buf.Name())
+			continue
 		}
-		return true
-	})
+		z.nested(stmt, zeroed)
+		if zeroesBuffer(z.pass, stmt, z.buf) {
+			zeroed = true
+		}
+	}
+}
+
+// nested recurses into the blocks a statement contains, entering each
+// with the dominating zeroed state. Function literals start over with
+// a clean state: their returns are their own contract.
+func (z *zeroWalker) nested(stmt ast.Stmt, zeroed bool) {
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		z.stmts(s.List, zeroed)
+	case *ast.IfStmt:
+		z.stmts(s.Body.List, zeroed)
+		if s.Else != nil {
+			z.nested(s.Else, zeroed)
+		}
+	case *ast.ForStmt:
+		z.stmts(s.Body.List, zeroed)
+	case *ast.RangeStmt:
+		z.stmts(s.Body.List, zeroed)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				z.stmts(cc.Body, zeroed)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				z.stmts(cc.Body, zeroed)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				z.stmts(cc.Body, zeroed)
+			}
+		}
+	case *ast.LabeledStmt:
+		z.nested(s.Stmt, zeroed)
+	default:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if fl, ok := n.(*ast.FuncLit); ok {
+				z.stmts(fl.Body.List, false)
+				return false
+			}
+			return true
+		})
+	}
 }
 
 // zeroesBuffer recognises the two sanctioned zeroing idioms applied
 // to buf: a call to a *zero* helper taking buf (possibly sliced),
-// and a for/range loop assigning zeros into buf.
+// and a for/range loop assigning zeros into buf. It descends only
+// into constructs that run unconditionally when the statement runs
+// (loops, plain blocks, defers) — zeroing inside an if/switch branch
+// is conditional and must not count as dominating a later return.
 func zeroesBuffer(pass *Pass, stmt ast.Stmt, buf *types.Var) bool {
-	found := false
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if !isZeroCallName(n.Fun) {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		return isZeroCall(pass, s.X, buf)
+	case *ast.DeferStmt:
+		// A deferred zero runs on every return after this point.
+		return isZeroCall(pass, s.Call, buf)
+	case *ast.AssignStmt:
+		// buf[i] = 0 (or byte(0), or v where v is the constant 0) —
+		// the body of the sanctioned zeroing loop.
+		for i, lhs := range s.Lhs {
+			idx, ok := lhs.(*ast.IndexExpr)
+			if !ok || !mentionsVar(pass, idx.X, buf) || i >= len(s.Rhs) {
+				continue
+			}
+			if tv, ok := pass.Info.Types[s.Rhs[i]]; ok && tv.Value != nil && tv.Value.String() == "0" {
 				return true
 			}
-			for _, arg := range n.Args {
-				if mentionsVar(pass, arg, buf) {
-					found = true
-				}
-			}
-		case *ast.AssignStmt:
-			// buf[i] = 0 (or byte(0), or v where v is the constant 0)
-			for i, lhs := range n.Lhs {
-				idx, ok := lhs.(*ast.IndexExpr)
-				if !ok || !mentionsVar(pass, idx.X, buf) || i >= len(n.Rhs) {
-					continue
-				}
-				if tv, ok := pass.Info.Types[n.Rhs[i]]; ok && tv.Value != nil && tv.Value.String() == "0" {
-					found = true
-				}
-			}
 		}
-		return true
-	})
-	return found
+		return false
+	case *ast.ForStmt:
+		return anyZeroes(pass, s.Body.List, buf)
+	case *ast.RangeStmt:
+		return anyZeroes(pass, s.Body.List, buf)
+	case *ast.BlockStmt:
+		return anyZeroes(pass, s.List, buf)
+	case *ast.LabeledStmt:
+		return zeroesBuffer(pass, s.Stmt, buf)
+	}
+	return false
+}
+
+func anyZeroes(pass *Pass, list []ast.Stmt, buf *types.Var) bool {
+	for _, stmt := range list {
+		if zeroesBuffer(pass, stmt, buf) {
+			return true
+		}
+	}
+	return false
+}
+
+func isZeroCall(pass *Pass, expr ast.Expr, buf *types.Var) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || !isZeroCallName(call.Fun) {
+		return false
+	}
+	for _, arg := range call.Args {
+		if mentionsVar(pass, arg, buf) {
+			return true
+		}
+	}
+	return false
 }
 
 func isZeroCallName(fun ast.Expr) bool {

@@ -96,29 +96,32 @@ func NewBitReader(src Source) *BitReader {
 
 // Bits returns the next n bits (0 < n ≤ 64) as the low bits of the
 // result.
+//
+// Because n ≤ 64, a read spans at most two source words, so the body
+// is two straight-line takes rather than a loop: the buffered take
+// when the field fits, else the remainder of the buffer concatenated
+// with the top of a freshly drawn word. The walker's hot loop issues
+// four of these per emitted number, which is why the shape matters.
 func (b *BitReader) Bits(n uint) uint64 {
 	if n == 0 || n > 64 {
 		panic("rng: BitReader.Bits n out of range")
 	}
-	var out uint64
-	need := n
-	for need > 0 {
-		if b.left == 0 {
-			b.word = b.src.Uint64()
-			b.left = 64
-		}
-		take := need
-		if take > b.left {
-			take = b.left
-		}
-		// Take the top `take` bits of the remaining window.
-		shift := b.left - take
-		chunk := (b.word >> shift) & ((1 << take) - 1)
-		out = out<<take | chunk
-		b.left -= take
-		need -= take
+	if n <= b.left {
+		// Whole field sits in the buffered word: take its top n
+		// unread bits. (1<<n wraps to 0 at n == 64, making the mask
+		// all-ones, which is what a 64-bit take needs.)
+		shift := b.left - n
+		b.left = shift
+		return (b.word >> shift) & (1<<n - 1)
 	}
-	return out
+	// Field straddles a refill: drain the buffer (possibly zero
+	// bits), then take the top of the next word.
+	out := b.word & (1<<b.left - 1)
+	need := n - b.left
+	w := b.src.Uint64()
+	b.word = w
+	b.left = 64 - need
+	return out<<need | w>>(64-need)
 }
 
 // Bit returns the next single bit.

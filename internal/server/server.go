@@ -94,6 +94,7 @@ import (
 	"time"
 
 	hybridprng "repro"
+	"repro/internal/wordbytes"
 )
 
 // DefaultMaxWords caps /u64 and /bytes request sizes (in 64-bit
@@ -118,6 +119,45 @@ const DefaultStreamWriteTimeout = time.Minute
 // iteration: big enough to amortise pool and syscall overhead, small
 // enough to stay cache-resident.
 const chunkWords = 8192
+
+// chunk is the per-request scratch a draw handler borrows from
+// chunkPool. On little-endian hosts words and bytes alias the same
+// word-aligned block, so the pool's batched refill writes response
+// bytes in place and the handlers never copy; elsewhere bytes is a
+// separate block and encode materialises the words into it. text is
+// the decimal formatting buffer /u64 reuses.
+//
+// Chunks are reused across requests, so a handler must only ever
+// write bytes the pool filled *this* request — short responses take
+// a prefix of freshly filled data, never of leftover buffer.
+type chunk struct {
+	words   []uint64
+	bytes   []byte
+	aliased bool
+	text    []byte
+}
+
+var chunkPool = sync.Pool{New: func() any {
+	c := &chunk{words: make([]uint64, chunkWords)}
+	if b := wordbytes.Bytes(c.words); b != nil {
+		c.bytes, c.aliased = b, true
+	} else {
+		c.bytes = make([]byte, chunkWords*8)
+	}
+	c.text = make([]byte, 0, chunkWords*21)
+	return c
+}}
+
+// encode materialises words[:n] into the byte view where the two
+// buffers do not alias; on little-endian hosts it is a no-op.
+func (c *chunk) encode(n int) {
+	if c.aliased {
+		return
+	}
+	for i, v := range c.words[:n] {
+		binary.LittleEndian.PutUint64(c.bytes[8*i:], v)
+	}
+}
 
 // Server serves a Pool over HTTP. Create with New; the zero value is
 // not usable.
@@ -453,9 +493,11 @@ func (s *Server) serveU64(w http.ResponseWriter, r *http.Request) {
 	s.setDrawHeaders(w)
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	ctx := r.Context()
-	var scratch [chunkWords]uint64
+	c := chunkPool.Get().(*chunk)
+	defer chunkPool.Put(c)
+	scratch := c.words
 	// One reusable text buffer: 20 digits + newline per word.
-	out := make([]byte, 0, chunkWords*21)
+	out := c.text[:0]
 	if n <= chunkWords {
 		if s.expired(w, ctx, false) {
 			return
@@ -513,7 +555,11 @@ func (s *Server) unhealthy(w http.ResponseWriter, err error, wrote bool) {
 	s.fail(w, http.StatusServiceUnavailable, err.Error())
 }
 
-// serveBytes streams n random octets.
+// serveBytes streams n random octets. On little-endian hosts the
+// pool's batched refill fills the word-aligned response buffer in
+// place (Pool.FillBytes), so the steady per-chunk path performs no
+// copies and no allocations; the portable fallback fills words and
+// encodes.
 func (s *Server) serveBytes(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	n, ok := s.countWords(w, r, "n", s.maxWords*8)
@@ -524,26 +570,31 @@ func (s *Server) serveBytes(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.FormatUint(n, 10))
 	ctx := r.Context()
-	var scratch [chunkWords]uint64
-	var raw [chunkWords * 8]byte
+	c := chunkPool.Get().(*chunk)
+	defer chunkPool.Put(c)
 	wrote := false
 	for n > 0 {
 		if s.expired(w, ctx, wrote) {
 			return
 		}
 		batch := n
-		if batch > uint64(len(raw)) {
-			batch = uint64(len(raw))
+		if batch > uint64(len(c.bytes)) {
+			batch = uint64(len(c.bytes))
 		}
 		words := (batch + 7) / 8
-		if err := s.pool.Fill(scratch[:words]); err != nil {
-			s.unhealthy(w, err, wrote)
-			return
+		if c.aliased {
+			if err := s.pool.FillBytes(c.bytes[:batch]); err != nil {
+				s.unhealthy(w, err, wrote)
+				return
+			}
+		} else {
+			if err := s.pool.Fill(c.words[:words]); err != nil {
+				s.unhealthy(w, err, wrote)
+				return
+			}
+			c.encode(int(words))
 		}
-		for i, v := range scratch[:words] {
-			binary.LittleEndian.PutUint64(raw[8*i:], v)
-		}
-		if _, err := w.Write(raw[:batch]); err != nil {
+		if _, err := w.Write(c.bytes[:batch]); err != nil {
 			return
 		}
 		wrote = true
@@ -569,8 +620,8 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	rc := http.NewResponseController(w)
 	ctx := r.Context()
-	var scratch [chunkWords]uint64
-	var raw [chunkWords * 8]byte
+	c := chunkPool.Get().(*chunk)
+	defer chunkPool.Put(c)
 	wrote := false
 	for limit > 0 {
 		select {
@@ -582,13 +633,11 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 		if batch > chunkWords {
 			batch = chunkWords
 		}
-		if err := s.pool.Fill(scratch[:batch]); err != nil {
+		if err := s.pool.Fill(c.words[:batch]); err != nil {
 			s.unhealthy(w, err, wrote)
 			return
 		}
-		for i, v := range scratch[:batch] {
-			binary.LittleEndian.PutUint64(raw[8*i:], v)
-		}
+		c.encode(int(batch))
 		// Idle-write deadline: /stream is exempt from the request
 		// timeout by design, but a client that stops *reading* must
 		// not pin an in-flight slot forever. The deadline is re-armed
@@ -598,7 +647,7 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 		if s.streamWrite > 0 {
 			_ = rc.SetWriteDeadline(time.Now().Add(s.streamWrite)) //lint:wallclock socket deadlines are kernel wall-clock by definition
 		}
-		if _, err := w.Write(raw[:batch*8]); err != nil {
+		if _, err := w.Write(c.bytes[:batch*8]); err != nil {
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				s.timeouts.Add(1)
 				s.reqErrs.Add(1)

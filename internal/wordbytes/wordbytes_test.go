@@ -1,0 +1,76 @@
+package wordbytes
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The views are optional (nil on big-endian hosts), but when present
+// they must agree exactly with the portable little-endian encoding.
+
+func TestWordsViewMatchesLittleEndian(t *testing.T) {
+	b := make([]byte, 64)
+	w := Words(b)
+	if w == nil {
+		t.Skip("no zero-copy view on this architecture")
+	}
+	if len(w) != 8 {
+		t.Fatalf("len = %d, want 8", len(w))
+	}
+	for i := range w {
+		w[i] = 0x0102030405060708 * uint64(i+1)
+	}
+	for i := range w {
+		if got := binary.LittleEndian.Uint64(b[8*i:]); got != w[i] {
+			t.Fatalf("word %d: view %#x, bytes %#x", i, w[i], got)
+		}
+	}
+}
+
+func TestBytesViewMatchesLittleEndian(t *testing.T) {
+	w := []uint64{0xDEADBEEFCAFEF00D, 1, 0}
+	b := Bytes(w)
+	if b == nil {
+		t.Skip("no zero-copy view on this architecture")
+	}
+	if len(b) != 24 {
+		t.Fatalf("len = %d, want 24", len(b))
+	}
+	want := make([]byte, 24)
+	for i, v := range w {
+		binary.LittleEndian.PutUint64(want[8*i:], v)
+	}
+	for i := range b {
+		if b[i] != want[i] {
+			t.Fatalf("byte %d: %#x != %#x", i, b[i], want[i])
+		}
+	}
+	// The view is storage, not a copy: writes through it land in w.
+	b[0] = 0xFF
+	if w[0]&0xFF != 0xFF {
+		t.Fatal("Bytes view is not aliased to the words")
+	}
+}
+
+func TestWordsRejectsBadShapes(t *testing.T) {
+	if Words(nil) != nil {
+		t.Error("Words(nil) != nil")
+	}
+	if Words(make([]byte, 12)) != nil {
+		t.Error("Words accepted a non-multiple-of-8 length")
+	}
+	// Unaligned view over an aligned backing array.
+	backing := make([]byte, 24)
+	if v := Words(backing[1:17]); v != nil {
+		t.Error("Words accepted an unaligned buffer")
+	}
+}
+
+func TestBytesEmpty(t *testing.T) {
+	if Bytes(nil) != nil {
+		t.Error("Bytes(nil) != nil")
+	}
+	if Bytes([]uint64{}) != nil {
+		t.Error("Bytes(empty) != nil")
+	}
+}

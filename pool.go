@@ -13,6 +13,7 @@ import (
 	"repro/internal/bitsource"
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/wordbytes"
 )
 
 // Pool is the serving-layer generator: a sharded, contention-free
@@ -80,6 +81,19 @@ const (
 	// visit, so recovery work never adds more than ~one ring refill
 	// of latency to the caller that happens to drive it.
 	probationChunk = 512
+
+	// gangScanWindow is how many neighbouring shards a ring refill
+	// inspects when assembling a gang (see poolShard.refillRingLocked):
+	// wide enough to find MaxBatchLanes-1 drained companions even when
+	// some neighbours are busy or full, narrow enough that the scan
+	// stays cheap.
+	gangScanWindow = 2 * core.MaxBatchLanes
+
+	// maxFillShards caps how many shards one Fill call stripes across.
+	// It bounds the stack-allocated lane bookkeeping so the steady
+	// bulk-fill path performs zero heap allocations; 64 shards is far
+	// past the point where striping wider stops helping.
+	maxFillShards = 64
 )
 
 // ErrPoolUnhealthy is returned by Pool draws when no shard is
@@ -511,8 +525,7 @@ func (s *poolShard) next() (v uint64, ok bool) {
 		return 0, false
 	}
 	if s.idx == len(s.buf) {
-		s.w.Fill(s.buf)
-		s.refills.Add(1)
+		s.refillRingLocked()
 		if s.monTripped() {
 			s.mu.Unlock()
 			return 0, false
@@ -524,6 +537,68 @@ func (s *poolShard) next() (v uint64, ok bool) {
 	s.mu.Unlock()
 	s.draws.Add(1)
 	return v, true
+}
+
+// refillRingLocked refills s's empty ring and, in the same batched
+// lockstep sweep (core.FillBatch), opportunistically tops up the
+// rings of neighbouring healthy shards that have drained at least
+// half — a "gang refill". Under uniform ticket traffic all rings
+// drain at the same rate, so the shard that happens to empty first
+// pays one batched sweep that refills the whole neighbourhood at
+// batched-kernel throughput instead of each shard paying a scalar
+// refill of its own.
+//
+// Stream contents are unaffected: a ring always holds the next words
+// of its own walker's stream, so topping a ring up early changes only
+// *when* the words are generated, never which words any caller
+// observes. Gang members are acquired with TryLock while s.mu is
+// held, so the refill can never deadlock and never convoys behind a
+// busy neighbour.
+//
+// Must be called with s.mu held and s's ring empty. The caller
+// remains responsible for s's own monTripped check and idx reset;
+// gang members are checked, published and unlocked here.
+func (s *poolShard) refillRingLocked() {
+	var (
+		ws   [core.MaxBatchLanes]*core.Walker
+		segs [core.MaxBatchLanes][]uint64
+		gang [core.MaxBatchLanes]*poolShard
+	)
+	ws[0], segs[0] = s.w, s.buf
+	n := 1
+	p := s.pool
+	if scan := uint64(gangScanWindow); p.mask > 0 {
+		if scan > p.mask {
+			scan = p.mask // all other shards; off ≤ mask never aliases s
+		}
+		for off := uint64(1); off <= scan && n < core.MaxBatchLanes; off++ {
+			t := p.shards[(uint64(s.index)+off)&p.mask]
+			if shardState(t.state.Load()) != shardHealthy || !t.mu.TryLock() {
+				continue
+			}
+			if shardState(t.state.Load()) != shardHealthy ||
+				(len(t.buf)-t.idx)*2 > len(t.buf) {
+				t.mu.Unlock()
+				continue
+			}
+			// Compact the unread residue to the front; the batched
+			// sweep appends the walker's next words right after it, so
+			// the ring still serves the stream in order.
+			residue := copy(t.buf, t.buf[t.idx:])
+			ws[n], segs[n], gang[n] = t.w, t.buf[residue:], t
+			n++
+		}
+	}
+	core.FillBatch(ws[:n], segs[:n])
+	s.refills.Add(1)
+	for i := 1; i < n; i++ {
+		t := gang[i]
+		t.refills.Add(1)
+		if !t.monTripped() { // tripLocked discards the untrusted ring
+			t.idx = 0
+		}
+		t.mu.Unlock()
+	}
 }
 
 // fill writes len(dst) words straight from the walker (bypassing the
@@ -592,23 +667,22 @@ func (p *Pool) Uint64() (uint64, error) {
 	return 0, ErrPoolUnhealthy
 }
 
-// Fill writes len(dst) words, splitting large requests across all
-// healthy shards concurrently and bypassing the rings. Small
-// requests are served from one shard's ring. Any shard that trips
-// mid-fill has its segment regenerated by a healthy shard, so on a
-// nil return every word in dst is trustworthy. On a non-nil error
-// dst is zeroed in full — callers can never consume stale or
-// untrusted buffer contents as randomness.
+// Fill writes len(dst) words, splitting large requests across
+// healthy shards and bypassing the rings: the participating shards
+// are swept by the batched lockstep kernel (core.FillBatch) in
+// groups of up to MaxBatchLanes, so a bulk fill costs one pipelined
+// sweep per group rather than a scalar walk per shard. Small
+// requests are served from the shard rings. The steady large path
+// performs no heap allocations. Any shard that trips mid-fill has
+// its segment regenerated by a healthy shard, so on a nil return
+// every word in dst is trustworthy. On a non-nil error dst is zeroed
+// in full — callers can never consume stale or untrusted buffer
+// contents as randomness.
 func (p *Pool) Fill(dst []uint64) error {
 	if len(dst) == 0 {
 		return nil
 	}
 	p.sweep()
-	healthy := p.healthyShards()
-	if len(healthy) == 0 {
-		zeroWords(dst)
-		return ErrPoolUnhealthy
-	}
 	if len(dst) <= directFillThreshold {
 		for i := range dst {
 			v, err := p.Uint64()
@@ -620,16 +694,31 @@ func (p *Pool) Fill(dst []uint64) error {
 		}
 		return nil
 	}
-	// Shard the slice across the healthy walkers; don't cut chunks
-	// below the direct-fill threshold or goroutine overhead dominates.
-	n := len(healthy)
+	// Stripe the slice across healthy shards (ascending index, capped
+	// at maxFillShards so the lane bookkeeping lives on the stack);
+	// don't cut chunks below the direct-fill threshold or per-lane
+	// overhead dominates.
+	var laneArr [maxFillShards]*poolShard
+	lanes := laneArr[:0]
+	for _, s := range p.shards {
+		if shardState(s.state.Load()) == shardHealthy {
+			lanes = append(lanes, s)
+			if len(lanes) == maxFillShards {
+				break
+			}
+		}
+	}
+	if len(lanes) == 0 {
+		zeroWords(dst)
+		return ErrPoolUnhealthy
+	}
+	n := len(lanes)
 	if max := (len(dst) + directFillThreshold - 1) / directFillThreshold; n > max {
 		n = max
 	}
 	chunk := (len(dst) + n - 1) / n
-	var wg sync.WaitGroup
-	var failedMu sync.Mutex
-	var failed [][]uint64
+	var segArr [maxFillShards][]uint64
+	used := 0
 	for i := 0; i < n; i++ {
 		lo := i * chunk
 		if lo >= len(dst) {
@@ -639,20 +728,29 @@ func (p *Pool) Fill(dst []uint64) error {
 		if hi > len(dst) {
 			hi = len(dst)
 		}
-		wg.Add(1)
-		go func(s *poolShard, seg []uint64) {
-			defer wg.Done()
-			if !s.fill(seg) {
-				failedMu.Lock()
-				failed = append(failed, seg)
-				failedMu.Unlock()
-			}
-		}(healthy[i%len(healthy)], dst[lo:hi])
+		segArr[used] = dst[lo:hi]
+		used++
 	}
-	wg.Wait()
-	// Regenerate segments whose shard tripped. Trips are rare, so
-	// serial retry is fine; each pass either succeeds or shrinks the
-	// healthy set, so this terminates.
+	// One batched sweep per group of MaxBatchLanes consecutive lanes.
+	// Groups run serially on a single-core host (no goroutine or
+	// allocation overhead — the lane bookkeeping above never escapes);
+	// with spare cores each group gets its own goroutine, matching the
+	// old one-goroutine-per-segment spread.
+	var failed [][]uint64
+	if used <= core.MaxBatchLanes || runtime.GOMAXPROCS(0) == 1 {
+		for g := 0; g < used; g += core.MaxBatchLanes {
+			hi := g + core.MaxBatchLanes
+			if hi > used {
+				hi = used
+			}
+			failed = append(failed, fillShardGroup(lanes[g:hi], segArr[g:hi])...)
+		}
+	} else {
+		failed = fillShardGroupsParallel(lanes[:used], segArr[:used])
+	}
+	// Regenerate segments whose shard tripped or turned unhealthy.
+	// Trips are rare, so serial retry is fine; each pass either
+	// succeeds or shrinks the healthy set, so this terminates.
 	for _, seg := range failed {
 		if err := p.fillSegment(seg); err != nil {
 			zeroWords(dst)
@@ -660,6 +758,74 @@ func (p *Pool) Fill(dst []uint64) error {
 		}
 	}
 	return nil
+}
+
+// fillShardGroupsParallel runs one goroutine per MaxBatchLanes group
+// of lanes. It copies the lane bookkeeping to the heap itself, so
+// Fill's stack arrays never escape and the (far more common) serial
+// path stays allocation-free.
+func fillShardGroupsParallel(lanes []*poolShard, segs [][]uint64) [][]uint64 {
+	ls := append([]*poolShard(nil), lanes...)
+	ss := append([][]uint64(nil), segs...)
+	var wg sync.WaitGroup
+	var failedMu sync.Mutex
+	var failed [][]uint64
+	for g := 0; g < len(ls); g += core.MaxBatchLanes {
+		hi := g + core.MaxBatchLanes
+		if hi > len(ls) {
+			hi = len(ls)
+		}
+		wg.Add(1)
+		go func(ss []*poolShard, segs [][]uint64) {
+			defer wg.Done()
+			if f := fillShardGroup(ss, segs); len(f) > 0 {
+				failedMu.Lock()
+				failed = append(failed, f...)
+				failedMu.Unlock()
+			}
+		}(ls[g:hi], ss[g:hi])
+	}
+	wg.Wait()
+	return failed
+}
+
+// fillShardGroup locks up to MaxBatchLanes shards (in ascending
+// index order — every Fill group locks ascending, so concurrent
+// bulk fills cannot deadlock), sweeps their segments with the
+// batched kernel, and returns the segments that must be regenerated
+// because their shard was no longer healthy or tripped mid-sweep.
+// The happy path allocates nothing.
+func fillShardGroup(shards []*poolShard, segs [][]uint64) (failed [][]uint64) {
+	var (
+		ws     [core.MaxBatchLanes]*core.Walker
+		ds     [core.MaxBatchLanes][]uint64
+		locked [core.MaxBatchLanes]*poolShard
+	)
+	n := 0
+	for i, s := range shards {
+		s.mu.Lock()
+		if shardState(s.state.Load()) != shardHealthy {
+			s.mu.Unlock()
+			failed = append(failed, segs[i])
+			continue
+		}
+		ws[n], ds[n], locked[n] = s.w, segs[i], s
+		n++
+	}
+	core.FillBatch(ws[:n], ds[:n])
+	for i := 0; i < n; i++ {
+		s := locked[i]
+		tripped := s.monTripped()
+		s.mu.Unlock()
+		if tripped {
+			// The lane's words came through a feed that failed its
+			// health tests; hand the segment back for regeneration.
+			failed = append(failed, ds[i])
+		} else {
+			s.draws.Add(uint64(len(ds[i])))
+		}
+	}
+	return failed
 }
 
 func zeroWords(dst []uint64) {
@@ -709,6 +875,51 @@ func (p *Pool) Read(b []byte) (int, error) {
 		}
 	}
 	return done, nil
+}
+
+// FillBytes fills b with random bytes (little-endian words, the same
+// stream layout as Read). On little-endian hosts, when b's word-
+// aligned prefix permits it, the words are generated directly into b
+// with no intermediate copy — this is the zero-allocation path the
+// server's /bytes handler rides. On a non-nil error b is zeroed in
+// full, so a reused response buffer can never leak a previous
+// response's bytes through a failed fill.
+func (p *Pool) FillBytes(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	nw := len(b) / 8
+	if w := wordbytes.Words(b[:nw*8]); w != nil {
+		if err := p.Fill(w); err != nil {
+			zeroBytes(b)
+			return err
+		}
+		if tail := b[nw*8:]; len(tail) > 0 {
+			var one [1]uint64
+			if err := p.Fill(one[:]); err != nil {
+				zeroBytes(b)
+				return err
+			}
+			for i := range tail {
+				tail[i] = byte(one[0] >> (8 * i))
+			}
+		}
+		return nil
+	}
+	// Unaligned buffer or big-endian host: copy through Read.
+	if _, err := p.Read(b); err != nil {
+		// Read zeroes only the unwritten tail; FillBytes promises a
+		// fully zeroed buffer on error.
+		zeroBytes(b)
+		return err
+	}
+	return nil
+}
+
+func zeroBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
 }
 
 // sweep advances every recovering shard's state machine one bounded

@@ -1,0 +1,225 @@
+package hybridprng
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestPoolGangRefillPreservesStreams pins the gang ring refill's core
+// promise: topping up neighbouring rings early changes only when
+// words are generated, never which words a caller observes. Each
+// Uint64 draw must still return the next unserved word of the stream
+// owned by the shard its ticket lands on.
+func TestPoolGangRefillPreservesStreams(t *testing.T) {
+	const shards, ring, draws = 8, 16, 2048
+	p, err := NewPool(WithSeed(99), WithShards(shards), WithShardBuffer(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference streams from a twin pool, read via the ring-bypassing
+	// audit probe (ShardFill observes the same per-shard stream).
+	ref, err := NewPool(WithSeed(99), WithShards(shards), WithShardBuffer(ring))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := make([][]uint64, shards)
+	for i := range streams {
+		streams[i] = make([]uint64, draws/shards+ring)
+		if err := ref.ShardFill(i, streams[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	served := make([]int, shards)
+	for k := 0; k < draws; k++ {
+		v, err := p.Uint64()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Single-goroutine draws visit shards in ticket order; all
+		// shards healthy, so draw k lands on shard (k+1) & mask.
+		s := (k + 1) & (shards - 1)
+		if want := streams[s][served[s]]; v != want {
+			t.Fatalf("draw %d (shard %d, word %d): %#x != %#x — gang refill changed a served stream",
+				k, s, served[s], v, want)
+		}
+		served[s]++
+	}
+}
+
+// TestPoolStatsInvariantUnderGangRefill re-pins Generated == Draws +
+// buffered under traffic shaped to trigger gang top-ups constantly
+// (tiny rings, many shards): every word a gang sweep generates must
+// be accounted for in some ring.
+func TestPoolStatsInvariantUnderGangRefill(t *testing.T) {
+	p, err := NewPool(WithSeed(3), WithShards(16), WithShardBuffer(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]uint64, 777)
+	for round := 0; round < 20; round++ {
+		for i := 0; i < 50; i++ {
+			if _, err := p.Uint64(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := p.Fill(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	var buffered uint64
+	for _, ss := range st.PerShard {
+		buffered += uint64(ss.Buffered)
+	}
+	if g := p.Generated(); g != st.Draws+buffered {
+		t.Fatalf("Generated %d != served %d + buffered %d", g, st.Draws, buffered)
+	}
+}
+
+// TestPoolConcurrentBatchedRefills is the -race stress for the new
+// locking: concurrent Uint64 traffic (gang refills TryLock-ing
+// neighbours), bulk Fills (groups Lock-ing ascending), Reads and
+// Stats snapshots all interleave on small rings.
+func TestPoolConcurrentBatchedRefills(t *testing.T) {
+	p, err := NewPool(WithSeed(42), WithShards(8), WithShardBuffer(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			big := make([]uint64, 1500)
+			raw := make([]byte, 333)
+			for i := 0; i < 40; i++ {
+				switch (w + i) % 4 {
+				case 0:
+					if _, err := p.Uint64(); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if err := p.Fill(big); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if _, err := p.Read(raw); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					p.Stats()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := p.Stats()
+	var buffered uint64
+	for _, ss := range st.PerShard {
+		buffered += uint64(ss.Buffered)
+	}
+	if g := p.Generated(); g != st.Draws+buffered {
+		t.Fatalf("Generated %d != served %d + buffered %d after concurrent stress",
+			g, st.Draws, buffered)
+	}
+}
+
+// TestPoolFillBytesMatchesRead pins the zero-copy byte path to the
+// portable encoding: a 1-shard pool serves one stream, so FillBytes
+// and Read over the same stream must produce identical bytes for
+// every alignment and tail shape.
+func TestPoolFillBytesMatchesRead(t *testing.T) {
+	for _, n := range []int{8, 16, 64, 513, 4096, 4099} {
+		a, err := NewPool(WithSeed(11), WithShards(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewPool(WithSeed(11), WithShards(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, n)
+		want := make([]byte, n)
+		if err := a.FillBytes(got); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Read(want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("n=%d: FillBytes diverged from Read", n)
+		}
+	}
+}
+
+// TestPoolFillBytesUnalignedFallback drives the copying fallback with
+// a deliberately misaligned buffer; the byte stream must still match.
+func TestPoolFillBytesUnalignedFallback(t *testing.T) {
+	a, _ := NewPool(WithSeed(17), WithShards(1))
+	b, _ := NewPool(WithSeed(17), WithShards(1))
+	backing := make([]byte, 121)
+	got := backing[1:] // 8-byte-misaligned start
+	want := make([]byte, len(got))
+	if err := a.FillBytes(got); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(want); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("unaligned FillBytes diverged from Read")
+	}
+}
+
+// TestPoolFillBytesZeroesOnError: a reused response buffer must never
+// leak its previous contents through a failed fill — the whole buffer
+// comes back zero, including the unaligned tail.
+func TestPoolFillBytesZeroesOnError(t *testing.T) {
+	p, err := NewPool(WithSeed(5), WithShards(2),
+		WithRecovery(RecoveryPolicy{Disabled: true}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.Shards(); i++ {
+		if err := p.InjectFault(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []int{64, 67, 7} {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = 0xAA // stale "previous response"
+		}
+		if err := p.FillBytes(buf); err == nil {
+			t.Fatal("FillBytes on a dead pool must fail")
+		}
+		for i, c := range buf {
+			if c != 0 {
+				t.Fatalf("n=%d byte %d = %#x after failed FillBytes, want 0", n, i, c)
+			}
+		}
+	}
+}
+
+// BenchmarkPoolFillBytes measures the zero-copy byte path the server
+// rides; the steady state must not allocate.
+func BenchmarkPoolFillBytes(b *testing.B) {
+	p, err := NewPool(WithSeed(1), WithShards(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 8192)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.FillBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
