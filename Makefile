@@ -3,7 +3,7 @@
 
 GOPATH_BIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint lint-vet fmt check battery-short battery-long bench-seed bench-gate
+.PHONY: build test race lint lint-vet fmt check battery-short battery-long bench-seed bench-gate fleet-drill
 
 build:
 	go build ./...
@@ -60,6 +60,13 @@ bench-gate:
 		| go run ./cmd/benchseed -gate BENCH_pool.json
 	go test -run '^$$' -bench 'BenchmarkServe' -benchtime 0.5s ./internal/server \
 		| go run ./cmd/benchseed -gate BENCH_server.json
+
+## fleet-drill: the control-plane acceptance drill — controller +
+## three nodes + SDK client on loopback, seeded kill and a
+## stream-preserving drain, repeated under the race detector exactly
+## as CI's chaos job runs it.
+fleet-drill:
+	go test -run Chaos -race -count=3 -v ./internal/fleet
 
 ## check: everything a merge gate checks that runs offline.
 check: build lint test race

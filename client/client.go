@@ -269,6 +269,20 @@ func New(opts Options) (*Client, error) {
 	return c, nil
 }
 
+// SetEndpoints replaces the fleet of randd base URLs at runtime —
+// the hook a fleet controller's endpoint watch feeds, so the client
+// tracks nodes joining, draining and dying without a restart.
+// Endpoints present in both the old and new lists keep their failover
+// state (backoff windows, failure counts, epoch tracking); brand-new
+// endpoints start trusted. In-flight prefetches complete against
+// whichever endpoint they already chose; subsequent fetches pick from
+// the new list. An empty or invalid list is rejected and the current
+// fleet stays in effect — a flapping control plane must degrade to
+// stale endpoints, never to none.
+func (c *Client) SetEndpoints(endpoints []string) error {
+	return c.eps.setEndpoints(endpoints)
+}
+
 // Close stops the refill goroutine and releases the ring. Draws
 // after Close return ErrClosed; a draw blocked on the ring is
 // unblocked promptly.

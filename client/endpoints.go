@@ -52,7 +52,19 @@ func newEndpointSet(opts Options) (*endpointSet, error) {
 	if s.now == nil {
 		s.now = time.Now //lint:wallclock default when Options.Clock is nil; the injection point IS Options.Clock
 	}
-	for i, raw := range opts.Endpoints {
+	eps, err := parseEndpoints(opts.Endpoints)
+	if err != nil {
+		return nil, err
+	}
+	s.eps = eps
+	return s, nil
+}
+
+// parseEndpoints normalises and validates a base-URL list into fresh
+// endpoint records.
+func parseEndpoints(raws []string) ([]*endpoint, error) {
+	eps := make([]*endpoint, 0, len(raws))
+	for i, raw := range raws {
 		u, err := url.Parse(strings.TrimRight(raw, "/"))
 		if err != nil {
 			return nil, fmt.Errorf("client: endpoint %q: %w", raw, err)
@@ -63,9 +75,44 @@ func newEndpointSet(opts Options) (*endpointSet, error) {
 		if u.Host == "" {
 			return nil, fmt.Errorf("client: endpoint %q: missing host", raw)
 		}
-		s.eps = append(s.eps, &endpoint{base: u.String(), index: i})
+		eps = append(eps, &endpoint{base: u.String(), index: i})
 	}
-	return s, nil
+	return eps, nil
+}
+
+// setEndpoints replaces the fleet at runtime (fed from a controller's
+// endpoint watch). Endpoints surviving the swap keep their records —
+// backoff windows, failure counts and epoch tracking carry over, so a
+// momentary list refresh cannot reset a misbehaving server to
+// trusted. In-flight fetches are untouched: they hold *endpoint
+// pointers whose mutable fields stay guarded by the same mutex, and
+// their success/failure still lands on those records even when the
+// endpoint just left the rotation (harmless — the record is simply no
+// longer consulted). An empty list is rejected: a watch hiccup must
+// not strand the client with nowhere to draw from.
+func (s *endpointSet) setEndpoints(raws []string) error {
+	if len(raws) == 0 {
+		return fmt.Errorf("client: SetEndpoints: empty endpoint list")
+	}
+	fresh, err := parseEndpoints(raws)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := make(map[string]*endpoint, len(s.eps))
+	for _, ep := range s.eps {
+		old[ep.base] = ep
+	}
+	for i, ep := range fresh {
+		if prev, ok := old[ep.base]; ok {
+			prev.index = i
+			fresh[i] = prev
+		}
+	}
+	s.eps = fresh
+	s.rr %= len(fresh)
+	return nil
 }
 
 // pick returns the next endpoint eligible for a fetch, rotating

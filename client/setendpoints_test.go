@@ -1,0 +1,108 @@
+package client
+
+import (
+	"testing"
+	"time"
+
+	hybridprng "repro"
+)
+
+// TestSetEndpointsSwapMidStream: a running client switched to a new
+// fleet keeps drawing without an error — the runtime path a fleet
+// controller's endpoint watch exercises on every drain or node join.
+func TestSetEndpointsSwapMidStream(t *testing.T) {
+	_, tsA := newRanddServer(t, hybridprng.WithSeed(1), hybridprng.WithShards(2))
+	_, tsB := newRanddServer(t, hybridprng.WithSeed(2), hybridprng.WithShards(2))
+	cl := newTestClient(t, Options{
+		Endpoints:   []string{tsA.URL},
+		BackoffBase: 20 * time.Millisecond,
+		BackoffMax:  100 * time.Millisecond,
+	})
+
+	draw := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if _, err := cl.Uint64(); err != nil {
+				t.Fatalf("draw %d: %v", i, err)
+			}
+		}
+	}
+	draw(20000)
+
+	// The controller drains A and brings up B: swap, then kill A. Any
+	// in-flight prefetch against A either lands (its response was
+	// already on the wire) or fails onto the new list — the drawer
+	// never sees either.
+	if err := cl.SetEndpoints([]string{tsB.URL}); err != nil {
+		t.Fatal(err)
+	}
+	tsA.CloseClientConnections()
+	tsA.Close()
+	draw(100000)
+	if st := cl.Stats(); st.Draws != 120000 {
+		t.Errorf("Draws = %d, want 120000", st.Draws)
+	}
+	if st := cl.Stats(); len(st.Endpoints) != 1 || st.Endpoints[0].URL != tsB.URL {
+		t.Errorf("endpoint stats after swap: %+v", st.Endpoints)
+	}
+}
+
+// TestSetEndpointsPreservesState: an endpoint that survives the swap
+// keeps its backoff and failure history — a list refresh must not
+// amnesty a misbehaving server.
+func TestSetEndpointsPreservesState(t *testing.T) {
+	s, err := newEndpointSet(Options{
+		Endpoints:   []string{"http://a:1", "http://b:1"},
+		BackoffBase: time.Minute,
+		BackoffMax:  time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(1_700_000_000, 0)
+	s.now = func() time.Time { return now }
+	bad := s.eps[0]
+	s.fail(bad, 0)
+	if got, _ := s.stats(now); got[0].Failures != 1 || got[0].Healthy {
+		t.Fatalf("precondition: %+v", got[0])
+	}
+
+	// b leaves, c joins, a survives with its record intact.
+	if err := s.setEndpoints([]string{"http://a:1", "http://c:1"}); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := s.stats(now)
+	if len(got) != 2 {
+		t.Fatalf("stats after swap: %+v", got)
+	}
+	if got[0].URL != "http://a:1" || got[0].Failures != 1 || got[0].Healthy {
+		t.Errorf("survivor lost its failure state: %+v", got[0])
+	}
+	if got[1].URL != "http://c:1" || got[1].Failures != 0 || !got[1].Healthy {
+		t.Errorf("newcomer not fresh: %+v", got[1])
+	}
+
+	// The swap preserved identity, not just counters: the surviving
+	// record is the same object, so an in-flight fetch holding it
+	// reports into the live set.
+	if s.eps[0] != bad {
+		t.Error("surviving endpoint was reallocated, in-flight state would be lost")
+	}
+}
+
+// TestSetEndpointsRejectsBadLists: empty or malformed lists leave the
+// current fleet untouched.
+func TestSetEndpointsRejectsBadLists(t *testing.T) {
+	s, err := newEndpointSet(Options{Endpoints: []string{"http://a:1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]string{nil, {}, {"not a url"}, {"ftp://x"}, {"http://"}} {
+		if err := s.setEndpoints(bad); err == nil {
+			t.Errorf("setEndpoints(%q) should fail", bad)
+		}
+	}
+	if len(s.eps) != 1 || s.eps[0].base != "http://a:1" {
+		t.Fatalf("fleet changed by rejected update: %+v", s.eps)
+	}
+}

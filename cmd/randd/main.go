@@ -32,6 +32,20 @@
 // quarantine, reseed and recover while the daemon keeps serving.
 // Chaos runs are a development tool and refuse to combine with
 // -state — fault schedules do not belong in production snapshots.
+//
+// With -control, randd joins a randctl fleet: it registers under
+// -node-id, advertises -advertise (or a URL derived from -addr),
+// declares -capacity words/s, and heartbeats its live pool health so
+// the controller can place shard ranges and detect failures. A
+// successor taking over a drained node's streams passes the drain's
+// -resume-token so the controller transfers the frozen ranges. On
+// SIGTERM a fleet member deregisters *before* draining — clients are
+// steered away while the node can still answer — and a failed
+// deregistration makes the exit non-zero, same as a failed final
+// snapshot: both mean the fleet's view of this node is now wrong. A
+// node drained through POST /drain skips the shutdown snapshot — its
+// state went to the successor, and a second copy that could be
+// resumed would fork the streams.
 package main
 
 import (
@@ -40,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,6 +63,7 @@ import (
 
 	hybridprng "repro"
 	"repro/internal/chaos"
+	"repro/internal/fleet"
 	"repro/internal/server"
 )
 
@@ -73,6 +89,11 @@ func run() int {
 		state      = flag.String("state", "", "checkpoint file: restored on boot when present, written on shutdown and by POST /snapshot (empty disables)")
 		chaosSeed  = flag.Uint64("chaos", 0, "enable the deterministic fault injector with this schedule seed (dev only; incompatible with -state)")
 		chaosKinds = flag.String("chaos-kinds", "all", "comma-separated chaos fault kinds: stuck, bias, burst, stall (with -chaos)")
+		control    = flag.String("control", "", "randctl base URL: register with this fleet controller and heartbeat pool health (empty = standalone)")
+		nodeID     = flag.String("node-id", "", "fleet node ID (with -control; default: the hostname)")
+		advertise  = flag.String("advertise", "", "base URL other hosts reach this node at (with -control; default derived from -addr)")
+		capacity   = flag.Uint64("capacity", 1_000_000, "declared serving capacity in words/s for fleet placement (with -control)")
+		resumeTok  = flag.String("resume-token", "", "drain ticket token when this node is the successor resuming a drained node's streams (with -control)")
 	)
 	flag.Parse()
 
@@ -126,6 +147,52 @@ func run() int {
 		}
 	}()
 
+	// Fleet membership: register and heartbeat in the background so a
+	// slow or absent controller never delays serving.
+	var agent *fleet.Agent
+	agentCtx, agentCancel := context.WithCancel(context.Background())
+	defer agentCancel()
+	if *control != "" {
+		id := *nodeID
+		if id == "" {
+			host, err := os.Hostname()
+			if err != nil {
+				log.Printf("randd: -control without -node-id and no hostname: %v", err)
+				return 2
+			}
+			id = host
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = advertiseFromAddr(*addr)
+		}
+		agent, err = fleet.NewAgent(fleet.AgentOptions{
+			Controller: *control,
+			Node: fleet.NodeInfo{
+				ID: id, URL: adv,
+				CapacityWords: *capacity,
+				ResumeToken:   *resumeTok,
+			},
+			Report: func() fleet.HeartbeatReport {
+				st := pool.Stats()
+				return fleet.HeartbeatReport{
+					Shards:        st.Shards,
+					Healthy:       st.Healthy,
+					Quarantined:   st.Quarantined,
+					Probation:     st.Probation,
+					Retired:       st.Retired,
+					CapacityWords: *capacity,
+				}
+			},
+			Logf: log.Printf,
+		})
+		if err != nil {
+			log.Printf("randd: %v", err)
+			return 2
+		}
+		go agent.Run(agentCtx)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -135,16 +202,38 @@ func run() int {
 	case <-sig:
 	}
 	fmt.Fprintln(os.Stderr, "randd: shutting down")
+	exit := 0
+	// Deregister first, while this node can still answer the draws
+	// already heading its way: the controller drops it from the
+	// endpoint list and clients steer to siblings before we stop
+	// accepting. A failed deregistration means the fleet keeps routing
+	// at a corpse until the heartbeat timeout — loud log, failed exit.
+	if agent != nil {
+		agentCancel() // stop heartbeating before we announce departure
+		dctx, dcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := agent.Deregister(dctx); err != nil {
+			log.Printf("randd: FLEET DEREGISTRATION FAILED, controller may still route here: %v", err)
+			exit = 1
+		} else {
+			log.Print("randd: deregistered from fleet")
+		}
+		dcancel()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
-	// Drain first, snapshot second: once Shutdown returns no request
+	// Drain second, snapshot third: once Shutdown returns no request
 	// is mid-flight, so the checkpoint lands exactly at a request
 	// boundary and a resumed instance continues the streams
 	// bit-for-bit.
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("randd: shutdown: %v", err)
 	}
-	if *state != "" {
+	switch {
+	case *state != "" && srv.Draining():
+		// This node's streams were handed to a successor via POST
+		// /drain; a resumable second copy of the state would fork them.
+		log.Printf("randd: drained to a successor, skipping final snapshot to %s", *state)
+	case *state != "":
 		n, err := srv.Snapshot()
 		if err != nil {
 			// A lost shutdown snapshot means the next boot replays from
@@ -155,7 +244,24 @@ func run() int {
 		}
 		log.Printf("randd: final snapshot: %d bytes to %s", n, *state)
 	}
-	return 0
+	return exit
+}
+
+// advertiseFromAddr derives a reachable base URL from the listen
+// address: ":8080" advertises the hostname, an explicit host is kept.
+func advertiseFromAddr(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return "http://" + addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		if h, err := os.Hostname(); err == nil {
+			host = h
+		} else {
+			host = "localhost"
+		}
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }
 
 type poolFlags struct {

@@ -8,6 +8,14 @@
 //	         -clients 8 -duration 30s
 //	randload -addrs http://localhost:8080 -mode open -rate 500000
 //	randload -addrs http://localhost:8080 -check -out BENCH_client.json
+//	randload -control http://localhost:7070 -clients 8 -duration 30s
+//
+// With -control, randload takes its fleet from a randctl controller
+// instead of a static -addrs list: the initial endpoints come from
+// the controller and a background watch feeds every change into the
+// running clients (SetEndpoints), so draws keep flowing while nodes
+// join, drain and die mid-measurement — the scenario the fleet
+// control plane exists for.
 //
 // Closed loop (default) measures capacity: every worker draws as
 // fast as the ring feeds it. Open loop measures latency at a fixed
@@ -23,6 +31,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,7 +44,32 @@ import (
 	"time"
 
 	"repro/client"
+	"repro/internal/fleet"
 )
+
+// fetchFleet asks the controller for the current endpoint list,
+// waiting briefly for at least one node to be registered — randload
+// is often started in the same breath as the fleet it measures.
+func fetchFleet(ctx context.Context, control string) ([]string, error) {
+	ctx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	got := make(chan []string, 1)
+	go fleet.WatchEndpoints(ctx, control, nil, func(_ uint64, eps []string) {
+		if len(eps) > 0 {
+			select {
+			case got <- eps:
+			default:
+			}
+			cancel()
+		}
+	})
+	select {
+	case eps := <-got:
+		return eps, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("no serving endpoints appeared: %w", ctx.Err())
+	}
+}
 
 func main() {
 	os.Exit(run())
@@ -53,10 +87,21 @@ func run() int {
 		stall    = flag.Duration("stall", 5*time.Second, "give up on a draw after this long with no progress (client MaxStall)")
 		out      = flag.String("out", "", "write the JSON benchmark artifact here (e.g. BENCH_client.json)")
 		check    = flag.Bool("check", false, "exit non-zero unless throughput is non-zero and no corrupt word was seen")
+		control  = flag.String("control", "", "randctl base URL: take the fleet from this controller's endpoint watch instead of -addrs")
 	)
 	flag.Parse()
 
 	endpoints := strings.Split(*addrs, ",")
+	watchCtx, watchCancel := context.WithCancel(context.Background())
+	defer watchCancel()
+	if *control != "" {
+		eps, err := fetchFleet(watchCtx, *control)
+		if err != nil {
+			log.Printf("randload: fetch fleet from %s: %v", *control, err)
+			return 2
+		}
+		endpoints = eps
+	}
 	if *mode != "closed" && *mode != "open" {
 		log.Printf("randload: -mode must be closed or open, got %q", *mode)
 		return 2
@@ -88,7 +133,20 @@ func run() int {
 		workers[i] = &worker{cl: cl}
 	}
 
-	log.Printf("randload: %d clients, %s loop, %v against %s", *clients, *mode, *duration, *addrs)
+	if *control != "" {
+		// Feed every fleet change into all running clients for the
+		// rest of the run.
+		go fleet.WatchEndpoints(watchCtx, *control, nil, func(version uint64, eps []string) {
+			log.Printf("randload: fleet v%d: %s", version, strings.Join(eps, ","))
+			for _, w := range workers {
+				if err := w.cl.SetEndpoints(eps); err != nil {
+					log.Printf("randload: apply fleet v%d: %v", version, err)
+				}
+			}
+		})
+	}
+
+	log.Printf("randload: %d clients, %s loop, %v against %s", *clients, *mode, *duration, strings.Join(endpoints, ","))
 	deadline := time.Now().Add(*duration)
 	var wg sync.WaitGroup
 	for _, w := range workers {

@@ -1,0 +1,580 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Defaults for Config fields left zero.
+const (
+	DefaultLogicalShards     = 64
+	DefaultStreamWords       = 100_000 // words/s of demand charged per logical shard
+	DefaultHeartbeatInterval = 2 * time.Second
+)
+
+// ErrUnknownNode is returned for heartbeats from nodes the controller
+// has never seen (or has dropped): the agent's cue to re-register.
+var ErrUnknownNode = errors.New("fleet: unknown node")
+
+// Config parameterises a Controller. Clock is required — the
+// controller performs no wall-clock reads of its own, which is what
+// makes its failure-detection timelines deterministic and
+// replayable; binaries inject time.Now, tests inject a fake.
+type Config struct {
+	// LogicalShards is the size of the logical shard keyspace the
+	// controller places onto nodes (0 = DefaultLogicalShards).
+	LogicalShards uint64
+	// StreamWords is the demand, in words/second, one logical shard
+	// charges against a node's capacity (0 = DefaultStreamWords).
+	StreamWords uint64
+	// HeartbeatInterval is the cadence the controller asks agents to
+	// beat at (0 = DefaultHeartbeatInterval).
+	HeartbeatInterval time.Duration
+	// SuspectAfter is the silence that moves a node alive → suspect
+	// (0 = 3 × HeartbeatInterval).
+	SuspectAfter time.Duration
+	// DeadAfter is the silence that moves a node suspect → dead and
+	// re-places its shard ranges (0 = 10 × HeartbeatInterval).
+	DeadAfter time.Duration
+	// Clock is the time source for heartbeat ages. Required: the
+	// controller refuses to default to the wall clock.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Clock == nil {
+		return c, errors.New("fleet: Config.Clock is required (inject time.Now from the binary, a fake clock from tests)")
+	}
+	if c.LogicalShards == 0 {
+		c.LogicalShards = DefaultLogicalShards
+	}
+	if c.StreamWords == 0 {
+		c.StreamWords = DefaultStreamWords
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = DefaultHeartbeatInterval
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3 * c.HeartbeatInterval
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 10 * c.HeartbeatInterval
+	}
+	if c.DeadAfter < c.SuspectAfter {
+		return c, fmt.Errorf("fleet: DeadAfter %v < SuspectAfter %v", c.DeadAfter, c.SuspectAfter)
+	}
+	return c, nil
+}
+
+// node is the controller's book on one randd process.
+type node struct {
+	id       string
+	url      string    // guarded by Controller.mu
+	state    NodeState // guarded by Controller.mu
+	lastBeat time.Time // guarded by Controller.mu
+
+	capacity uint64  // declared words/s; guarded by Controller.mu
+	healthy  int     // healthy shards from the last heartbeat; guarded by Controller.mu
+	shards   int     // pool shards from the last heartbeat (0 = not reported yet); guarded by Controller.mu
+	assigned []Range // normalized logical shard ranges; guarded by Controller.mu
+}
+
+// ticket freezes a draining node's ranges until a successor claims
+// them by registering with the token.
+type ticket struct {
+	token  string
+	nodeID string
+	ranges []Range // guarded by Controller.mu
+}
+
+// Controller is the deterministic control-plane core: registration,
+// heartbeat failure detection, capacity-aware placement and
+// stream-preserving drain bookkeeping. All methods are safe for
+// concurrent use. It never reads the wall clock, spawns no
+// goroutines and performs no I/O; the HTTP layer (Server) and the
+// test suites drive it.
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	nodes    map[string]*node   // guarded by mu
+	pending  []Range            // unplaced logical shard ranges; guarded by mu
+	tickets  map[string]*ticket // open drain tickets by token; guarded by mu
+	drainSeq uint64             // drain ticket counter; guarded by mu
+
+	version     uint64        // endpoint list version; guarded by mu
+	endpoints   []string      // cached endpoint list; guarded by mu
+	wake        chan struct{} // closed+replaced on every version bump; guarded by mu
+	partitioned bool          // controller-side partition heuristic active; guarded by mu
+}
+
+// NewController builds a Controller over cfg.
+func NewController(cfg Config) (*Controller, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{
+		cfg:     cfg,
+		nodes:   make(map[string]*node),
+		pending: []Range{{0, cfg.LogicalShards}},
+		tickets: make(map[string]*ticket),
+		version: 1, // so a watcher at since=0 sees the initial (empty) list
+		wake:    make(chan struct{}),
+	}, nil
+}
+
+// Config returns the controller's effective configuration (defaults
+// applied).
+func (c *Controller) Config() Config { return c.cfg }
+
+// RegisterResult is what a successful registration returns to the
+// agent.
+type RegisterResult struct {
+	// HeartbeatInterval is the cadence the controller expects.
+	HeartbeatInterval time.Duration `json:"heartbeat_interval"`
+	// Claimed is the set of ranges inherited through a resume token.
+	Claimed []Range `json:"claimed,omitempty"`
+	// Warning carries non-fatal registration notes (e.g. an unknown
+	// resume token: the node is registered, but inherited nothing).
+	Warning string `json:"warning,omitempty"`
+}
+
+// Register admits (or refreshes) a node. Re-registering an existing
+// ID updates URL and capacity in place and keeps its assigned ranges
+// — the restart-with-state-file case. A ResumeToken claims a drain
+// ticket: the node inherits the drained node's frozen ranges up to
+// its own budget (the rest goes pending — capacity is never
+// exceeded, not even for a resume). The one refusal: a draining or
+// drained ID cannot re-register without a live drain ticket — its
+// streams belong to a successor, and serving them again would fork
+// the streams.
+func (c *Controller) Register(info NodeInfo) (RegisterResult, error) {
+	if info.ID == "" {
+		return RegisterResult{}, errors.New("fleet: register: empty node id")
+	}
+	if info.URL == "" {
+		return RegisterResult{}, errors.New("fleet: register: empty node url")
+	}
+	if info.CapacityWords == 0 {
+		return RegisterResult{}, fmt.Errorf("fleet: register %s: zero declared capacity", info.ID)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	c.advanceLocked(now)
+	res := RegisterResult{HeartbeatInterval: c.cfg.HeartbeatInterval}
+	var t *ticket
+	if info.ResumeToken != "" {
+		t = c.tickets[info.ResumeToken] // nil when unknown/already claimed
+	}
+	n, ok := c.nodes[info.ID]
+	if !ok {
+		n = &node{id: info.ID}
+		c.nodes[info.ID] = n
+	} else if (n.state == StateDraining || n.state == StateDrained) && t == nil {
+		// This ID's streams are moving (or moved) to a successor. A
+		// re-registration without a live drain ticket is almost
+		// certainly the drained process restarted against its
+		// pre-drain state file — letting it serve would fork every
+		// stream the successor continues.
+		return RegisterResult{}, fmt.Errorf(
+			"fleet: register %s: node is %s; claim its streams with the drain's resume token, or boot fresh under a new node ID",
+			info.ID, n.state)
+	}
+	n.url = info.URL
+	n.capacity = info.CapacityWords
+	n.state = StateAlive
+	n.lastBeat = now
+	n.healthy, n.shards = 0, 0 // unknown until the first heartbeat; budget uses full capacity
+	if info.ResumeToken != "" {
+		if t == nil {
+			res.Warning = fmt.Sprintf("resume token %q matches no open drain ticket; registered fresh", info.ResumeToken)
+		} else {
+			res.Claimed = c.claimTicketLocked(t, n)
+		}
+	}
+	// A re-registration may have lowered the declared capacity below
+	// what the node already holds; shed back inside the new budget.
+	c.shedLocked(n)
+	c.placeLocked()
+	c.refreshEndpointsLocked()
+	return res, nil
+}
+
+// claimTicketLocked transfers a drain ticket's frozen ranges to the
+// claimant, up to the claimant's budget; any remainder goes pending.
+// The drained node (when still registered) moves to StateDrained.
+func (c *Controller) claimTicketLocked(t *ticket, n *node) []Range {
+	spare := c.spareLocked(n)
+	var claimed []Range
+	for _, r := range t.ranges {
+		if spare == 0 {
+			c.pending = append(c.pending, r)
+			continue
+		}
+		take := r.Width()
+		if take > spare {
+			c.pending = append(c.pending, Range{r.Lo + spare, r.Hi})
+			take = spare
+		}
+		claimed = append(claimed, Range{r.Lo, r.Lo + take})
+		spare -= take
+	}
+	n.assigned = normalize(append(n.assigned, claimed...))
+	c.pending = normalize(c.pending)
+	// When the claimant IS the drained node (same ID, resumed from its
+	// own blob), it stays alive with its ranges back — only a distinct
+	// predecessor is retired.
+	if old, ok := c.nodes[t.nodeID]; ok && old != n && old.state == StateDraining {
+		old.state = StateDrained
+	}
+	delete(c.tickets, t.token)
+	return claimed
+}
+
+// Heartbeat ingests a node's periodic health report. Unknown nodes
+// get ErrUnknownNode — the agent's cue to re-register.
+func (c *Controller) Heartbeat(id string, r HeartbeatReport) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return ErrUnknownNode
+	}
+	if n.state == StateDrained {
+		// The hand-off completed: this node's streams live on a
+		// successor, and serving one more word here would fork them.
+		// Its agent may well still be beating — acknowledge the beat
+		// (an ErrUnknownNode here would read as the re-register cue
+		// and resurrect a node that must stay retired) but keep it
+		// out of placement and endpoints.
+		n.lastBeat = now
+		return nil
+	}
+	n.lastBeat = now
+	if n.state == StateSuspect || n.state == StateDead {
+		// A dead node beating again is a resurrection: it kept its
+		// pool (we just could not hear it), so readmit it. Its ranges
+		// were re-placed at death; it simply starts from none.
+		n.state = StateAlive
+	}
+	if r.CapacityWords > 0 {
+		n.capacity = r.CapacityWords
+	}
+	if r.Shards > 0 {
+		n.healthy, n.shards = r.Healthy, r.Shards
+	}
+	c.advanceLocked(now)
+	c.shedLocked(n)
+	c.placeLocked()
+	c.refreshEndpointsLocked()
+	return nil
+}
+
+// Deregister removes a node outright: endpoints drop it immediately
+// and its ranges are re-placed on the survivors. This is randd's
+// leave-before-drain path — the controller steers clients away
+// *before* the node stops serving. An open drain ticket for the node
+// survives deregistration: the snapshot is already taken, a
+// replacement may still claim it.
+func (c *Controller) Deregister(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return ErrUnknownNode
+	}
+	c.pending = normalize(append(c.pending, n.assigned...))
+	delete(c.nodes, id)
+	c.advanceLocked(c.cfg.Clock())
+	c.placeLocked()
+	c.refreshEndpointsLocked()
+	return nil
+}
+
+// BeginDrain starts a stream-preserving drain: the node leaves the
+// endpoint list, its ranges freeze into a drain ticket, and the
+// returned ticket's token is what a successor presents at
+// registration to inherit them. The caller is responsible for the
+// data plane (fetch the node's snapshot, boot the successor from
+// it); AbortDrain undoes everything if that fails.
+func (c *Controller) BeginDrain(id string) (TicketStatus, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return TicketStatus{}, ErrUnknownNode
+	}
+	if n.state != StateAlive && n.state != StateSuspect {
+		return TicketStatus{}, fmt.Errorf("fleet: drain %s: node is %s", id, n.state)
+	}
+	c.drainSeq++
+	t := &ticket{
+		token:  fmt.Sprintf("drain-%s-%d", id, c.drainSeq),
+		nodeID: id,
+		ranges: n.assigned,
+	}
+	n.assigned = nil
+	n.state = StateDraining
+	c.tickets[t.token] = t
+	c.refreshEndpointsLocked()
+	return TicketStatus{Token: t.token, NodeID: id, Ranges: t.ranges}, nil
+}
+
+// AbortDrain cancels an unclaimed drain ticket: the ranges return to
+// the node and it rejoins the endpoint list.
+func (c *Controller) AbortDrain(token string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tickets[token]
+	if !ok {
+		return fmt.Errorf("fleet: abort drain: no open ticket %q", token)
+	}
+	delete(c.tickets, token)
+	if n, ok := c.nodes[t.nodeID]; ok && n.state == StateDraining {
+		n.assigned = normalize(append(n.assigned, t.ranges...))
+		n.state = StateAlive
+		// The node may have degraded while draining (heartbeats keep
+		// flowing); shed back inside whatever its budget is now.
+		c.shedLocked(n)
+	} else {
+		c.pending = normalize(append(c.pending, t.ranges...))
+	}
+	c.placeLocked()
+	c.refreshEndpointsLocked()
+	return nil
+}
+
+// NodeURL returns the registered base URL for a node — the HTTP
+// layer's lookup when orchestrating a drain.
+func (c *Controller) NodeURL(id string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n, ok := c.nodes[id]
+	if !ok {
+		return "", ErrUnknownNode
+	}
+	return n.url, nil
+}
+
+// Advance runs one failure-detection sweep at the injected clock's
+// current instant. The HTTP layer calls this on a timer; tests call
+// it after moving their fake clock.
+func (c *Controller) Advance() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceLocked(c.cfg.Clock())
+	c.placeLocked()
+	c.refreshEndpointsLocked()
+}
+
+// advanceLocked applies the missed-heartbeat state machine:
+// alive → suspect after SuspectAfter of silence, suspect → dead
+// after DeadAfter; death re-places the node's ranges. One guardrail:
+// when *every* registered serving node has gone silent at once, the
+// far more likely failure is the controller's own network partition,
+// not a simultaneous whole-fleet death — so the sweep freezes
+// (endpoints keep their last-known value, nobody is demoted) until
+// any heartbeat gets through again. Mass-evicting the whole endpoint
+// list on a controller-side partition would turn a control-plane
+// blip into a data-plane outage.
+func (c *Controller) advanceLocked(now time.Time) {
+	serving, silent := 0, 0
+	for _, n := range c.nodes {
+		switch n.state {
+		case StateAlive, StateSuspect:
+			serving++
+			if now.Sub(n.lastBeat) >= c.cfg.SuspectAfter {
+				silent++
+			}
+		}
+	}
+	c.partitioned = serving > 0 && silent == serving
+	if c.partitioned {
+		return
+	}
+	for _, n := range c.nodes {
+		age := now.Sub(n.lastBeat)
+		switch n.state {
+		case StateAlive:
+			if age >= c.cfg.SuspectAfter {
+				n.state = StateSuspect
+			}
+		case StateSuspect:
+			if age >= c.cfg.DeadAfter {
+				n.state = StateDead
+				c.pending = normalize(append(c.pending, n.assigned...))
+				n.assigned = nil
+			}
+		}
+	}
+}
+
+// Endpoints returns the current endpoint list and its version. The
+// list contains exactly the alive nodes' URLs, sorted by node ID;
+// suspect, dead, draining and drained nodes are excluded so clients
+// steer away the moment the controller doubts a node.
+func (c *Controller) Endpoints() (uint64, []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceLocked(c.cfg.Clock())
+	c.refreshEndpointsLocked()
+	eps := make([]string, len(c.endpoints))
+	copy(eps, c.endpoints)
+	return c.version, eps
+}
+
+// WaitEndpoints blocks until the endpoint list's version exceeds
+// since (long-poll), then returns it; ctx cancellation returns the
+// current list immediately.
+func (c *Controller) WaitEndpoints(ctx context.Context, since uint64) (uint64, []string) {
+	for {
+		c.mu.Lock()
+		c.advanceLocked(c.cfg.Clock())
+		c.refreshEndpointsLocked()
+		if c.version > since || ctx.Err() != nil {
+			v := c.version
+			eps := make([]string, len(c.endpoints))
+			copy(eps, c.endpoints)
+			c.mu.Unlock()
+			return v, eps
+		}
+		ch := c.wake
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+	}
+}
+
+// refreshEndpointsLocked recomputes the alive-node endpoint list and
+// bumps the version when it changed, waking long-poll watchers.
+func (c *Controller) refreshEndpointsLocked() {
+	ids := make([]string, 0, len(c.nodes))
+	for id, n := range c.nodes {
+		if n.state == StateAlive {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	eps := make([]string, len(ids))
+	for i, id := range ids {
+		eps[i] = c.nodes[id].url
+	}
+	if slicesEqual(eps, c.endpoints) {
+		return
+	}
+	c.endpoints = eps
+	c.version++
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Status snapshots the whole fleet for /v1/fleet and randctl.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceLocked(c.cfg.Clock())
+	c.refreshEndpointsLocked()
+	st := Status{
+		LogicalShards:    c.cfg.LogicalShards,
+		StreamWords:      c.cfg.StreamWords,
+		EndpointsVersion: c.version,
+		Endpoints:        append([]string(nil), c.endpoints...),
+		Pending:          append([]Range(nil), c.pending...),
+		PendingWidth:     width(c.pending),
+		Partitioned:      c.partitioned,
+	}
+	ids := make([]string, 0, len(c.nodes))
+	for id := range c.nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n := c.nodes[id]
+		st.Nodes = append(st.Nodes, NodeStatus{
+			ID:            n.id,
+			URL:           n.url,
+			State:         n.state.String(),
+			CapacityWords: n.capacity,
+			DeratedWords:  c.deratedLocked(n),
+			BudgetStreams: c.budgetLocked(n),
+			Assigned:      append([]Range(nil), n.assigned...),
+			AssignedWidth: width(n.assigned),
+			Healthy:       n.healthy,
+			Shards:        n.shards,
+			LastBeat:      n.lastBeat,
+		})
+	}
+	tokens := make([]string, 0, len(c.tickets))
+	for tok := range c.tickets {
+		tokens = append(tokens, tok)
+	}
+	sort.Strings(tokens)
+	for _, tok := range tokens {
+		t := c.tickets[tok]
+		st.Tickets = append(st.Tickets, TicketStatus{
+			Token:  t.token,
+			NodeID: t.nodeID,
+			Ranges: append([]Range(nil), t.ranges...),
+		})
+	}
+	return st
+}
+
+// CheckInvariants verifies the two safety properties the control
+// plane promises: (1) the assigned, pending and drain-ticket ranges
+// form an exact, alias-free partition of [0, LogicalShards) — no
+// logical shard is ever served twice or lost; (2) no node holds more
+// logical shards than its current derated budget covers — placement
+// never over-commits declared capacity. Tests call this after every
+// mutation; it returns the first violation.
+func (c *Controller) CheckInvariants() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var all []Range
+	all = append(all, c.pending...)
+	for _, n := range c.nodes {
+		all = append(all, n.assigned...)
+		if w, b := width(n.assigned), c.budgetLocked(n); w > b {
+			return fmt.Errorf("fleet: node %s over-committed: %d streams assigned, budget %d", n.id, w, b)
+		}
+	}
+	for _, t := range c.tickets {
+		all = append(all, t.ranges...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Lo < all[j].Lo })
+	var total uint64
+	for i, r := range all {
+		if r.Hi <= r.Lo {
+			return fmt.Errorf("fleet: empty or inverted range %v", r)
+		}
+		if i > 0 && r.Lo < all[i-1].Hi {
+			return fmt.Errorf("fleet: aliased ranges %v and %v", all[i-1], r)
+		}
+		total += r.Width()
+	}
+	if total != c.cfg.LogicalShards {
+		return fmt.Errorf("fleet: ranges cover %d of %d logical shards", total, c.cfg.LogicalShards)
+	}
+	return nil
+}

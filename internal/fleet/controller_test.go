@@ -1,0 +1,544 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is the deterministic time source every controller test
+// injects: the controller performs no waits of its own, so Now is
+// all it needs.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.t = f.t.Add(d)
+}
+
+// testConfig is the shared controller shape: 64 logical shards, one
+// stream per 1000 words/s of capacity, 1 s heartbeats (suspect at
+// 3 s, dead at 10 s).
+func testConfig(clk *fakeClock) Config {
+	return Config{
+		LogicalShards:     64,
+		StreamWords:       1000,
+		HeartbeatInterval: time.Second,
+		Clock:             clk.Now,
+	}
+}
+
+func mustRegister(t *testing.T, c *Controller, id, url string, capacity uint64) RegisterResult {
+	t.Helper()
+	res, err := c.Register(NodeInfo{ID: id, URL: url, CapacityWords: capacity})
+	if err != nil {
+		t.Fatalf("register %s: %v", id, err)
+	}
+	return res
+}
+
+func assertInvariants(t *testing.T, c *Controller) {
+	t.Helper()
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func nodeByID(t *testing.T, st Status, id string) NodeStatus {
+	t.Helper()
+	for _, n := range st.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	t.Fatalf("node %s not in status", id)
+	return NodeStatus{}
+}
+
+func healthyBeat(shards int) HeartbeatReport {
+	return HeartbeatReport{Shards: shards, Healthy: shards}
+}
+
+// TestControllerStateMachine walks one node through
+// alive → suspect → dead on missed heartbeats, then resurrects it,
+// checking the endpoint list and range bookkeeping at every
+// transition.
+func TestControllerStateMachine(t *testing.T) {
+	clk := newFakeClock()
+	c, err := NewController(testConfig(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustRegister(t, c, "a", "http://a", 64_000)
+	mustRegister(t, c, "b", "http://b", 64_000)
+	assertInvariants(t, c)
+	v0, eps := c.Endpoints()
+	if len(eps) != 2 {
+		t.Fatalf("endpoints = %v, want both nodes", eps)
+	}
+
+	// b keeps beating; a goes silent.
+	for i := 0; i < 12; i++ {
+		clk.Advance(time.Second)
+		if err := c.Heartbeat("b", healthyBeat(8)); err != nil {
+			t.Fatal(err)
+		}
+		assertInvariants(t, c)
+	}
+	st := c.Status()
+	if got := nodeByID(t, st, "a").State; got != "dead" {
+		t.Fatalf("silent node state = %s, want dead", got)
+	}
+	if got := nodeByID(t, st, "a").AssignedWidth; got != 0 {
+		t.Fatalf("dead node still holds %d streams", got)
+	}
+	v1, eps := c.Endpoints()
+	if len(eps) != 1 || eps[0] != "http://b" {
+		t.Fatalf("endpoints after death = %v, want only b", eps)
+	}
+	if v1 <= v0 {
+		t.Fatalf("version did not advance: %d -> %d", v0, v1)
+	}
+
+	// The suspect window fires before the dead window.
+	clk2 := newFakeClock()
+	c2, _ := NewController(testConfig(clk2))
+	mustRegister(t, c2, "a", "http://a", 64_000)
+	clk2.Advance(3 * time.Second)
+	mustRegister(t, c2, "b", "http://b", 64_000) // triggers a sweep; also ends the all-silent freeze
+	if got := nodeByID(t, c2.Status(), "a").State; got != "suspect" {
+		t.Fatalf("after SuspectAfter: state = %s, want suspect", got)
+	}
+	// A heartbeat readmits a suspect instantly.
+	if err := c2.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodeByID(t, c2.Status(), "a").State; got != "alive" {
+		t.Fatalf("after heartbeat: state = %s, want alive", got)
+	}
+
+	// Resurrection: a dead node that beats again rejoins with no
+	// ranges (they were re-placed) and earns new ones as capacity
+	// allows.
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatalf("dead node heartbeat: %v", err)
+	}
+	assertInvariants(t, c)
+	if got := nodeByID(t, c.Status(), "a").State; got != "alive" {
+		t.Fatalf("resurrected state = %s, want alive", got)
+	}
+	if _, eps := c.Endpoints(); len(eps) != 2 {
+		t.Fatalf("endpoints after resurrection = %v", eps)
+	}
+}
+
+// TestControllerUnknownHeartbeat: heartbeats from unregistered nodes
+// are the agent's re-register signal.
+func TestControllerUnknownHeartbeat(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	if err := c.Heartbeat("ghost", healthyBeat(8)); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("heartbeat from unknown node: %v, want ErrUnknownNode", err)
+	}
+}
+
+// TestControllerPartitionFreeze: when every serving node goes silent
+// at once, the controller assumes it is the one partitioned and
+// freezes — no demotions, endpoints keep their last-known value —
+// until a heartbeat gets through.
+func TestControllerPartitionFreeze(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+	mustRegister(t, c, "b", "http://b", 64_000)
+	mustRegister(t, c, "c", "http://c", 64_000)
+	_, eps0 := c.Endpoints()
+
+	// Total silence, far past DeadAfter.
+	clk.Advance(time.Minute)
+	c.Advance()
+	st := c.Status()
+	if !st.Partitioned {
+		t.Fatal("all-silent fleet should trip the partition heuristic")
+	}
+	for _, n := range st.Nodes {
+		if n.State != "alive" {
+			t.Fatalf("node %s demoted to %s during controller partition", n.ID, n.State)
+		}
+	}
+	if _, eps := c.Endpoints(); len(eps) != len(eps0) {
+		t.Fatalf("endpoints changed during partition: %v -> %v", eps0, eps)
+	}
+
+	// One heartbeat ends the freeze; the still-silent nodes are then
+	// judged on their real ages and die.
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Status()
+	if st.Partitioned {
+		t.Fatal("partition flag should clear once a heartbeat arrives")
+	}
+	if got := nodeByID(t, st, "b").State; got != "dead" {
+		t.Fatalf("node b after freeze lifted: %s, want dead", got)
+	}
+	if _, eps := c.Endpoints(); len(eps) != 1 || eps[0] != "http://a" {
+		t.Fatalf("endpoints after freeze lifted: %v", eps)
+	}
+	assertInvariants(t, c)
+}
+
+// TestControllerDegradedHeartbeatSheds: a heartbeat reporting pool
+// degradation derates the node's budget and the excess ranges move
+// off it — the over-commit invariant holds *through* the
+// degradation, not just at placement.
+func TestControllerDegradedHeartbeatSheds(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	// a can host the whole keyspace; b is the spill target.
+	mustRegister(t, c, "a", "http://a", 64_000)
+	mustRegister(t, c, "b", "http://b", 32_000)
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+	full := nodeByID(t, c.Status(), "a").AssignedWidth
+
+	// Half of a's shards retire: its budget halves, the excess must
+	// land on b or go pending — never stay over-committed on a.
+	if err := c.Heartbeat("a", HeartbeatReport{Shards: 8, Healthy: 4, Retired: 4}); err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+	st := c.Status()
+	na, nb := nodeByID(t, st, "a"), nodeByID(t, st, "b")
+	if na.AssignedWidth > na.BudgetStreams {
+		t.Fatalf("degraded node over-committed: %d > %d", na.AssignedWidth, na.BudgetStreams)
+	}
+	if na.AssignedWidth >= full {
+		t.Fatalf("degradation did not shed: %d of %d streams still on a", na.AssignedWidth, full)
+	}
+	if nb.AssignedWidth == 0 && st.PendingWidth == 0 {
+		t.Fatal("shed streams vanished: neither re-placed nor pending")
+	}
+
+	// Recovery: full health restores the budget and the pending (or
+	// re-balanced) streams may flow back.
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+	if st := c.Status(); st.PendingWidth != 0 {
+		t.Fatalf("pending streams after full recovery: %d", st.PendingWidth)
+	}
+}
+
+// TestControllerDrainHandoff: BeginDrain freezes the ranges in a
+// ticket and pulls the node from rotation; a successor registering
+// with the token inherits them exactly; the drained node ends
+// drained.
+func TestControllerDrainHandoff(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+	mustRegister(t, c, "b", "http://b", 64_000)
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	before := nodeByID(t, c.Status(), "a")
+	if before.AssignedWidth == 0 {
+		t.Fatal("test needs a to hold streams")
+	}
+
+	tk, err := c.BeginDrain("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+	if width(tk.Ranges) != before.AssignedWidth {
+		t.Fatalf("ticket holds %d streams, node held %d", width(tk.Ranges), before.AssignedWidth)
+	}
+	if _, eps := c.Endpoints(); len(eps) != 1 || eps[0] != "http://b" {
+		t.Fatalf("draining node still in endpoints: %v", eps)
+	}
+	if got := nodeByID(t, c.Status(), "a").State; got != "draining" {
+		t.Fatalf("state = %s, want draining", got)
+	}
+	// No double drain.
+	if _, err := c.BeginDrain("a"); err == nil {
+		t.Fatal("second BeginDrain should fail")
+	}
+
+	// The successor claims with the token and inherits every frozen
+	// range — same logical shards, no aliasing, no loss.
+	res, err := c.Register(NodeInfo{ID: "a2", URL: "http://a2", CapacityWords: 64_000, ResumeToken: tk.Token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+	if res.Warning != "" {
+		t.Fatalf("unexpected warning: %s", res.Warning)
+	}
+	if width(res.Claimed) != width(tk.Ranges) {
+		t.Fatalf("claimed %d streams, ticket held %d", width(res.Claimed), width(tk.Ranges))
+	}
+	st := c.Status()
+	if got := nodeByID(t, st, "a").State; got != "drained" {
+		t.Fatalf("drained node state = %s", got)
+	}
+	if len(st.Tickets) != 0 {
+		t.Fatalf("ticket not consumed: %+v", st.Tickets)
+	}
+	// A token cannot be claimed twice.
+	res, err = c.Register(NodeInfo{ID: "a3", URL: "http://a3", CapacityWords: 64_000, ResumeToken: tk.Token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warning == "" || len(res.Claimed) != 0 {
+		t.Fatalf("stale token should warn and claim nothing: %+v", res)
+	}
+}
+
+// TestControllerDrainedNodeStaysRetired: after the hand-off, the
+// drained node must stay out of rotation no matter what its leftover
+// agent does. Its heartbeats are acknowledged but do not resurrect it
+// (a 404 would read as the re-register cue), and re-registering its
+// ID without a live drain ticket is refused outright — serving that
+// pool again would fork every stream the successor continues.
+func TestControllerDrainedNodeStaysRetired(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+	mustRegister(t, c, "b", "http://b", 64_000)
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := c.BeginDrain("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-drain, the node cannot re-register without the ticket.
+	if _, err := c.Register(NodeInfo{ID: "a", URL: "http://a", CapacityWords: 64_000}); err == nil {
+		t.Fatal("tokenless re-register of a draining node should fail")
+	}
+
+	if _, err := c.Register(NodeInfo{ID: "a2", URL: "http://a2", CapacityWords: 64_000, ResumeToken: tk.Token}); err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+
+	// The drained node's agent is still running: its beats must be
+	// acknowledged (not 404ed into a re-register) and change nothing.
+	for i := 0; i < 3; i++ {
+		clk.Advance(c.Config().HeartbeatInterval)
+		if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+			t.Fatalf("drained heartbeat %d: %v", i, err)
+		}
+		// Keep the real fleet beating so the partition-freeze
+		// heuristic cannot mask a resurrection.
+		if err := c.Heartbeat("a2", healthyBeat(8)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Heartbeat("b", healthyBeat(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := nodeByID(t, c.Status(), "a").State; got != "drained" {
+		t.Fatalf("state = %s after heartbeats, want drained", got)
+	}
+	if _, eps := c.Endpoints(); len(eps) != 2 || eps[0] != "http://a2" || eps[1] != "http://b" {
+		t.Fatalf("drained node crept back into endpoints: %v", eps)
+	}
+
+	// Without a live ticket (the successor consumed it), neither a
+	// tokenless nor a stale-token re-register may resurrect the ID.
+	if _, err := c.Register(NodeInfo{ID: "a", URL: "http://a", CapacityWords: 64_000}); err == nil {
+		t.Fatal("tokenless re-register of a drained node should fail")
+	}
+	if _, err := c.Register(NodeInfo{ID: "a", URL: "http://a", CapacityWords: 64_000, ResumeToken: tk.Token}); err == nil {
+		t.Fatal("stale-token re-register of a drained node should fail")
+	}
+	assertInvariants(t, c)
+}
+
+// TestControllerDrainSameIDResume: the successor may be the drained
+// node itself — same ID, restarted from its own drain blob with the
+// ticket. It claims its frozen ranges back and serves, alive.
+func TestControllerDrainSameIDResume(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := c.BeginDrain("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Register(NodeInfo{ID: "a", URL: "http://a", CapacityWords: 64_000, ResumeToken: tk.Token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+	if width(res.Claimed) != width(tk.Ranges) {
+		t.Fatalf("claimed %d streams, ticket held %d", width(res.Claimed), width(tk.Ranges))
+	}
+	if got := nodeByID(t, c.Status(), "a").State; got != "alive" {
+		t.Fatalf("state = %s, want alive", got)
+	}
+	if _, eps := c.Endpoints(); len(eps) != 1 || eps[0] != "http://a" {
+		t.Fatalf("resumed node missing from endpoints: %v", eps)
+	}
+}
+
+// TestControllerDrainClaimCapacityBound: a successor too small for
+// the drained load inherits only what its budget covers; the rest
+// goes pending — a resume is not an excuse to over-commit.
+func TestControllerDrainClaimCapacityBound(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	tk, err := c.BeginDrain("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Register(NodeInfo{ID: "small", URL: "http://small", CapacityWords: 16_000, ResumeToken: tk.Token})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+	if got := width(res.Claimed); got != 16 {
+		t.Fatalf("claimed %d streams, budget allows 16", got)
+	}
+	if st := c.Status(); st.PendingWidth != 64-16 {
+		t.Fatalf("pending = %d, want the unclaimed 48", st.PendingWidth)
+	}
+}
+
+// TestControllerAbortDrain: an aborted drain puts the node back in
+// rotation with its ranges intact.
+func TestControllerAbortDrain(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	before := nodeByID(t, c.Status(), "a").AssignedWidth
+	tk, err := c.BeginDrain("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AbortDrain(tk.Token); err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+	after := nodeByID(t, c.Status(), "a")
+	if after.State != "alive" || after.AssignedWidth != before {
+		t.Fatalf("after abort: state=%s width=%d, want alive/%d", after.State, after.AssignedWidth, before)
+	}
+	if _, eps := c.Endpoints(); len(eps) != 1 {
+		t.Fatalf("endpoints after abort: %v", eps)
+	}
+	if err := c.AbortDrain(tk.Token); err == nil {
+		t.Fatal("double abort should fail")
+	}
+}
+
+// TestControllerDeregister: a deregistering node leaves the endpoint
+// list at once and its streams land elsewhere.
+func TestControllerDeregister(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+	mustRegister(t, c, "b", "http://b", 64_000)
+	if err := c.Deregister("a"); err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+	if _, eps := c.Endpoints(); len(eps) != 1 || eps[0] != "http://b" {
+		t.Fatalf("endpoints after deregister: %v", eps)
+	}
+	st := c.Status()
+	if nodeByID(t, st, "b").AssignedWidth+st.PendingWidth != 64 {
+		t.Fatalf("streams lost on deregister: %+v", st)
+	}
+	if err := c.Deregister("a"); !errors.Is(err, ErrUnknownNode) {
+		t.Fatalf("double deregister: %v", err)
+	}
+}
+
+// TestControllerWaitEndpoints: the long-poll returns immediately on
+// a stale version and wakes on the next change.
+func TestControllerWaitEndpoints(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+	v, eps := c.WaitEndpoints(context.Background(), 0)
+	if len(eps) != 1 {
+		t.Fatalf("immediate wait: %v", eps)
+	}
+
+	got := make(chan []string, 1)
+	go func() {
+		_, eps := c.WaitEndpoints(context.Background(), v)
+		got <- eps
+	}()
+	mustRegister(t, c, "b", "http://b", 64_000)
+	select {
+	case eps := <-got:
+		if len(eps) != 2 {
+			t.Fatalf("watcher saw %v, want both nodes", eps)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watcher never woke")
+	}
+
+	// Cancellation returns the current list instead of hanging.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	v2, eps := c.WaitEndpoints(ctx, 1<<60)
+	if v2 == 0 || len(eps) != 2 {
+		t.Fatalf("cancelled wait: v=%d eps=%v", v2, eps)
+	}
+}
+
+// TestControllerRegisterValidation: the three required fields are
+// enforced with named errors.
+func TestControllerRegisterValidation(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	for _, info := range []NodeInfo{
+		{URL: "http://a", CapacityWords: 1000},
+		{ID: "a", CapacityWords: 1000},
+		{ID: "a", URL: "http://a"},
+	} {
+		if _, err := c.Register(info); err == nil {
+			t.Fatalf("register %+v should fail", info)
+		}
+	}
+	if _, err := NewController(Config{}); err == nil || !strings.Contains(err.Error(), "Clock") {
+		t.Fatalf("nil clock must be rejected, got %v", err)
+	}
+}

@@ -1,0 +1,157 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+// TestPlacementSpreadsBySpare: grants go to the node with the most
+// spare budget, so a fresh fleet levels out instead of piling onto
+// one node.
+func TestPlacementSpreadsBySpare(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 32_000)
+	mustRegister(t, c, "b", "http://b", 32_000)
+	assertInvariants(t, c)
+	st := c.Status()
+	na, nb := nodeByID(t, st, "a"), nodeByID(t, st, "b")
+	if na.AssignedWidth != 32 || nb.AssignedWidth != 32 {
+		t.Fatalf("placement skewed: a=%d b=%d", na.AssignedWidth, nb.AssignedWidth)
+	}
+	if st.PendingWidth != 0 {
+		t.Fatalf("pending %d with exact fleet capacity", st.PendingWidth)
+	}
+}
+
+// TestPlacementInsufficientCapacityParks: when the fleet cannot hold
+// the keyspace, the overflow is pending — visible backlog, never an
+// over-committed node.
+func TestPlacementInsufficientCapacityParks(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 10_000)
+	assertInvariants(t, c)
+	st := c.Status()
+	if got := nodeByID(t, st, "a").AssignedWidth; got != 10 {
+		t.Fatalf("assigned %d, budget 10", got)
+	}
+	if st.PendingWidth != 54 {
+		t.Fatalf("pending %d, want 54", st.PendingWidth)
+	}
+	// New capacity absorbs the backlog.
+	mustRegister(t, c, "b", "http://b", 64_000)
+	assertInvariants(t, c)
+	if st := c.Status(); st.PendingWidth != 0 {
+		t.Fatalf("pending %d after capacity arrived", st.PendingWidth)
+	}
+}
+
+// TestPlacementDeterministic: two controllers fed the same event
+// sequence on the same clock make identical decisions — placement
+// has no hidden map-order or wall-clock dependence.
+func TestPlacementDeterministic(t *testing.T) {
+	run := func() string {
+		clk := newFakeClock()
+		c, _ := NewController(testConfig(clk))
+		mustRegister(t, c, "n3", "http://n3", 21_000)
+		mustRegister(t, c, "n1", "http://n1", 17_000)
+		mustRegister(t, c, "n2", "http://n2", 40_000)
+		clk.Advance(time.Second)
+		if err := c.Heartbeat("n2", HeartbeatReport{Shards: 8, Healthy: 5}); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(4 * time.Second) // n1, n3 turn suspect
+		c.Advance()
+		st := c.Status()
+		return fmt.Sprintf("%+v", st.Nodes) + fmt.Sprintf("%v", st.Pending)
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("placement diverged:\n%s\n%s", a, b)
+	}
+}
+
+// TestPlacementPropertyNeverOverCommits drives random fleets through
+// random register / heartbeat / degrade / kill / drain / resume /
+// deregister sequences and checks, after every single event, that no
+// node exceeds its derated budget and the logical shard ranges stay
+// an exact alias-free partition. This is the fleet-level version of
+// the pool's recovery-invariant tests: the safety property must hold
+// on every path, not just the happy one.
+func TestPlacementPropertyNeverOverCommits(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(seed, 0xf1ee7^seed))
+			clk := newFakeClock()
+			cfg := testConfig(clk)
+			cfg.LogicalShards = 1 + uint64(rng.IntN(256))
+			c, err := NewController(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tokens []string
+			nextID := 0
+			liveIDs := func() []string {
+				var ids []string
+				for _, n := range c.Status().Nodes {
+					ids = append(ids, n.ID)
+				}
+				return ids
+			}
+			for step := 0; step < 300; step++ {
+				clk.Advance(time.Duration(rng.IntN(2000)) * time.Millisecond)
+				ids := liveIDs()
+				switch op := rng.IntN(10); {
+				case op <= 2 || len(ids) == 0: // register fresh
+					nextID++
+					id := fmt.Sprintf("n%d", nextID)
+					mustRegister(t, c, id, "http://"+id, uint64(1+rng.IntN(100))*1000)
+				case op <= 5: // heartbeat, possibly degraded
+					id := ids[rng.IntN(len(ids))]
+					shards := 1 + rng.IntN(16)
+					hb := HeartbeatReport{Shards: shards, Healthy: rng.IntN(shards + 1)}
+					if rng.IntN(4) == 0 {
+						hb.CapacityWords = uint64(1+rng.IntN(100)) * 1000
+					}
+					if err := c.Heartbeat(id, hb); err != nil && err != ErrUnknownNode {
+						t.Fatal(err)
+					}
+				case op == 6: // silence sweep (kills whoever aged out)
+					c.Advance()
+				case op == 7: // begin a drain
+					id := ids[rng.IntN(len(ids))]
+					if tk, err := c.BeginDrain(id); err == nil {
+						tokens = append(tokens, tk.Token)
+					}
+				case op == 8 && len(tokens) > 0: // resolve a ticket
+					tok := tokens[rng.IntN(len(tokens))]
+					if rng.IntN(2) == 0 {
+						nextID++
+						id := fmt.Sprintf("n%d", nextID)
+						if _, err := c.Register(NodeInfo{
+							ID: id, URL: "http://" + id,
+							CapacityWords: uint64(1+rng.IntN(100)) * 1000,
+							ResumeToken:   tok,
+						}); err != nil {
+							t.Fatal(err)
+						}
+					} else if err := c.AbortDrain(tok); err != nil {
+						// Already claimed or aborted — fine.
+						_ = err
+					}
+				default: // deregister
+					id := ids[rng.IntN(len(ids))]
+					if err := c.Deregister(id); err != nil && err != ErrUnknownNode {
+						t.Fatal(err)
+					}
+				}
+				if err := c.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	hybridprng "repro"
+)
+
+// TestDrainHandsOverExactState is the node-side half of the fleet's
+// stream-preserving drain: serve part of a stream, POST /drain, boot
+// a successor from the returned blob, serve the rest — the
+// concatenation must be bitwise identical to an uninterrupted run,
+// and the drained node must refuse every further draw (one more word
+// served there would fork the successor's streams).
+func TestDrainHandsOverExactState(t *testing.T) {
+	const (
+		wordsBefore = chunkWords
+		wordsAfter  = 2 * chunkWords
+	)
+	poolA, err := hybridprng.NewPool(resumeOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvA, err := New(poolA, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	htA := httptest.NewServer(srvA.Handler())
+	defer htA.Close()
+	before := getStream(t, htA.URL, wordsBefore)
+
+	resp, err := http.Post(htA.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: status %d err %v: %s", resp.StatusCode, err, blob)
+	}
+	if resp.Header.Get("Content-Type") != "application/octet-stream" {
+		t.Fatalf("drain content-type %q", resp.Header.Get("Content-Type"))
+	}
+
+	// The drained node is done serving: draws 503, drain again 409,
+	// healthz 503 with a machine-readable reason.
+	if code, body := get(t, htA.URL+"/u64"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draw after drain: %d %s, want 503", code, body)
+	}
+	resp, err = http.Post(htA.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("second drain: %d, want 409", resp.StatusCode)
+	}
+	code, body := get(t, htA.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz after drain: %d %s, want 503", code, body)
+	}
+	var hb HealthBody
+	if err := json.Unmarshal(body, &hb); err != nil {
+		t.Fatalf("healthz body not JSON: %v: %s", err, body)
+	}
+	if !hb.Draining || hb.Status != "unhealthy" {
+		t.Fatalf("healthz body %+v, want draining unhealthy", hb)
+	}
+
+	// Successor boots from the blob and continues the streams.
+	poolB := new(hybridprng.Pool)
+	if err := poolB.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	srvB, err := New(poolB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	htB := httptest.NewServer(srvB.Handler())
+	defer htB.Close()
+	after := getStream(t, htB.URL, wordsAfter)
+
+	poolC, err := hybridprng.NewPool(resumeOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvC, err := New(poolC, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	htC := httptest.NewServer(srvC.Handler())
+	defer htC.Close()
+	uninterrupted := getStream(t, htC.URL, wordsBefore+wordsAfter)
+
+	resumed := append(append([]byte(nil), before...), after...)
+	if !bytes.Equal(resumed, uninterrupted) {
+		i := 0
+		for i < len(resumed) && resumed[i] == uninterrupted[i] {
+			i++
+		}
+		t.Fatalf("drained handoff diverges from uninterrupted run at byte %d of %d", i, len(resumed))
+	}
+}
+
+// TestDrainWaitsForInFlight: the snapshot must land at a request
+// boundary, so /drain blocks until in-flight draws complete — and a
+// draw that outlasts DrainWait aborts the drain and puts the node
+// back in service instead of wedging it half-drained.
+func TestDrainWaitsForInFlight(t *testing.T) {
+	pool, err := hybridprng.NewPool(resumeOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := httptest.NewServer(srv.Handler())
+	defer ht.Close()
+
+	// Hold a slow /stream open, then start the drain: it must block.
+	resp, err := http.Get(ht.URL + "/stream?words=100000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one [1]byte
+	if _, err := io.ReadFull(resp.Body, one[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var drainCode int
+	var drainBody []byte
+	go func() {
+		defer wg.Done()
+		dresp, err := http.Post(ht.URL+"/drain", "", nil)
+		if err != nil {
+			return
+		}
+		defer dresp.Body.Close()
+		drainCode = dresp.StatusCode
+		drainBody, _ = io.ReadAll(dresp.Body)
+	}()
+
+	// New draws are refused the moment the drain starts.
+	deadline := time.After(5 * time.Second)
+	for {
+		code, _ := get(t, ht.URL+"/u64")
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("draws never started refusing during drain")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	// Let the in-flight stream finish; the drain completes with the
+	// blob only after it does.
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	wg.Wait()
+	if drainCode != http.StatusOK || len(drainBody) == 0 {
+		t.Fatalf("drain after stream finished: %d (%d bytes)", drainCode, len(drainBody))
+	}
+}
+
+// TestDrainAbortRestoresService: when in-flight draws outlast
+// DrainWait the drain gives up, and the node goes straight back to
+// serving — a failed handoff must not strand capacity.
+func TestDrainAbortRestoresService(t *testing.T) {
+	pool, err := hybridprng.NewPool(resumeOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pool, Options{DrainWait: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := httptest.NewServer(srv.Handler())
+	defer ht.Close()
+
+	// Pin an in-flight slot with an unbounded stream we never read out.
+	resp, err := http.Get(ht.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var one [1]byte
+	if _, err := io.ReadFull(resp.Body, one[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	dresp, err := http.Post(ht.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "in flight") {
+		t.Fatalf("stuck drain: %d %s, want 503 about in-flight draws", dresp.StatusCode, body)
+	}
+	if srv.Draining() {
+		t.Fatal("server still draining after aborted drain")
+	}
+	if code, body := get(t, ht.URL+"/u64"); code != http.StatusOK {
+		t.Fatalf("draw after aborted drain: %d %s", code, body)
+	}
+}

@@ -16,6 +16,12 @@
 //	                 snapshot count/age, panics, sheds, timeouts)
 //	POST /snapshot   checkpoint the pool to the configured state
 //	                 file (write-temp-then-rename); JSON receipt
+//	POST /drain      stream-preserving handoff: stop admitting draws,
+//	                 wait out in-flight ones, answer with the pool's
+//	                 full state blob (Pool.MarshalBinary). The node
+//	                 refuses draws permanently afterwards — serving
+//	                 even one more word would fork the streams the
+//	                 successor resumes. 409 if already draining.
 //
 // All draw endpoints pull through the pool's batched Fill path, so
 // one HTTP request amortises shard locks over thousands of words.
@@ -115,6 +121,10 @@ const DefaultRequestTimeout = 30 * time.Second
 // connection instead of pinning an in-flight slot forever.
 const DefaultStreamWriteTimeout = time.Minute
 
+// DefaultDrainWait bounds how long POST /drain waits for in-flight
+// draws to finish before giving up and returning the node to service.
+const DefaultDrainWait = 10 * time.Second
+
 // chunkWords is the scratch-buffer size the handlers fill per
 // iteration: big enough to amortise pool and syscall overhead, small
 // enough to stay cache-resident.
@@ -171,6 +181,8 @@ type Server struct {
 	streamWrite time.Duration
 	epoch       string // per-boot stream-token identifier
 	inFlight    atomic.Int64
+	drainWait   time.Duration
+	draining    atomic.Bool // once true, draw endpoints refuse forever
 
 	metrics  *expvar.Map
 	requests *expvar.Int
@@ -210,6 +222,10 @@ type Options struct {
 	// in-flight slot. 0 means DefaultStreamWriteTimeout; negative
 	// disables the deadline.
 	StreamWriteTimeout time.Duration
+	// DrainWait bounds how long POST /drain waits for in-flight draws
+	// before aborting and returning the node to service. 0 means
+	// DefaultDrainWait.
+	DrainWait time.Duration
 }
 
 // New builds a Server over pool.
@@ -233,6 +249,10 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	if streamWrite == 0 {
 		streamWrite = DefaultStreamWriteTimeout
 	}
+	drainWait := opts.DrainWait
+	if drainWait <= 0 {
+		drainWait = DefaultDrainWait
+	}
 	s := &Server{
 		pool:        pool,
 		maxWords:    maxWords,
@@ -240,6 +260,7 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 		maxInFlight: maxInFlight,
 		reqTimeout:  reqTimeout,
 		streamWrite: streamWrite,
+		drainWait:   drainWait,
 		epoch:       newEpoch(),
 		requests:    new(expvar.Int),
 		reqErrs:     new(expvar.Int),
@@ -282,6 +303,7 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	mux.Handle("/healthz", s.protect(http.HandlerFunc(s.serveHealthz)))
 	mux.Handle("/metrics", s.protect(http.HandlerFunc(s.serveMetrics)))
 	mux.Handle("/snapshot", s.protect(http.HandlerFunc(s.serveSnapshot)))
+	mux.Handle("/drain", s.protect(http.HandlerFunc(s.serveDrain)))
 	s.mux = mux
 	return s, nil
 }
@@ -310,6 +332,11 @@ func (s *Server) protect(next http.Handler) http.Handler {
 // requests already in flight keep their full share of the pool.
 func (s *Server) shed(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.requests.Add(1)
+			s.fail(w, http.StatusServiceUnavailable, "draining: this node's streams moved to a successor")
+			return
+		}
 		if s.maxInFlight > 0 {
 			if s.inFlight.Add(1) > s.maxInFlight {
 				s.inFlight.Add(-1)
@@ -423,6 +450,65 @@ func (s *Server) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 		Ordinal int64  `json:"ordinal"`
 	}{s.statePath, n, s.pool.Shards(), s.lastSnapUnix.Load(), s.snapshots.Value()})
 }
+
+// serveDrain performs the node-side half of a stream-preserving
+// handoff. The sequencing is the whole point: draining flips first,
+// so the draw endpoints start refusing; then in-flight draws get
+// DrainWait to finish, which parks the pool at a request boundary;
+// only then is the state blob marshalled and returned. The blob is
+// therefore exactly the state a successor must resume from for the
+// concatenated streams to be bitwise identical to an uninterrupted
+// run. After a successful drain this node never serves another word —
+// one more draw here would fork every stream the successor continues.
+// A failed drain (in-flight draws outlasting DrainWait, or a marshal
+// error) flips draining back off: a node that could not hand over
+// must keep serving rather than strand its capacity.
+func (s *Server) serveDrain(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.draining.CompareAndSwap(false, true) {
+		s.fail(w, http.StatusConflict, "drain already in progress or complete")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.drainWait)
+	defer cancel()
+	t := time.NewTicker(time.Millisecond)
+	defer t.Stop()
+	for s.inFlight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			s.draining.Store(false)
+			s.fail(w, http.StatusServiceUnavailable,
+				fmt.Sprintf("drain aborted: %d draws still in flight after %v", s.inFlight.Load(), s.drainWait))
+			return
+		case <-t.C:
+		}
+	}
+	// The pool is quiescent: no draw can start (draining) and none is
+	// running (inFlight == 0). Snapshot-writers are serialised too so
+	// a concurrent POST /snapshot cannot observe a half-read state.
+	s.snapMu.Lock()
+	blob, err := s.pool.MarshalBinary()
+	s.snapMu.Unlock()
+	if err != nil {
+		s.draining.Store(false)
+		s.fail(w, http.StatusInternalServerError, fmt.Sprintf("drain: checkpoint pool: %v", err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
+	w.Header().Set("X-Randd-Epoch", s.epoch)
+	w.Write(blob)
+}
+
+// Draining reports whether the server has drained (or is draining):
+// randd's shutdown path skips the exit snapshot for a drained node,
+// whose state now lives with its successor.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -663,27 +749,66 @@ func (s *Server) serveStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// serveHealthz distinguishes three states. "ok" (200): every shard
-// healthy. "degraded" (200): some shards are quarantined, in
-// probation or retired but the pool still serves — the instance
-// stays in rotation while self-healing runs, and the body carries
-// the failure for operators. "unhealthy" (503): no shard is serving;
-// the load balancer should pull the instance until recovery
-// readmits a shard.
+// HealthBody is the machine-readable /healthz payload served for the
+// degraded and unhealthy states — the shape fleet controllers and
+// probers parse instead of scraping prose. The healthy state keeps
+// its plain-text "ok" line: every probe on the planet understands it,
+// and nothing needs per-shard detail from a fully healthy node.
+type HealthBody struct {
+	Status      string `json:"status"` // "degraded" | "unhealthy"
+	Error       string `json:"error,omitempty"`
+	Healthy     int    `json:"healthy"`
+	Shards      int    `json:"shards"`
+	Quarantined int    `json:"quarantined"`
+	Probation   int    `json:"probation"`
+	Retired     int    `json:"retired"`
+	Recoveries  uint64 `json:"recoveries"`
+	Epoch       string `json:"epoch"`
+	Draining    bool   `json:"draining,omitempty"`
+}
+
+// serveHealthz distinguishes three states. "ok" (200, plain text):
+// every shard healthy. "degraded" (200, JSON): some shards are
+// quarantined, in probation or retired but the pool still serves —
+// the instance stays in rotation while self-healing runs, and the
+// body carries the counts and failure machine-readably. "unhealthy"
+// (503, JSON): no shard is serving; the load balancer should pull the
+// instance until recovery readmits a shard. A drained node also
+// answers 503 — it refuses draws, so advertising health would lie to
+// the balancer.
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	st := s.pool.Stats()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	detail := fmt.Sprintf("healthy %d/%d, quarantined %d, probation %d, retired %d, recoveries %d",
-		st.Healthy, st.Shards, st.Quarantined, st.Probation, st.Retired, st.Recoveries)
+	body := HealthBody{
+		Healthy:     st.Healthy,
+		Shards:      st.Shards,
+		Quarantined: st.Quarantined,
+		Probation:   st.Probation,
+		Retired:     st.Retired,
+		Recoveries:  st.Recoveries,
+		Epoch:       s.epoch,
+		Draining:    s.draining.Load(),
+	}
+	if err := s.pool.HealthErr(); err != nil {
+		body.Error = err.Error()
+	}
 	switch {
-	case st.Healthy == 0:
+	case st.Healthy == 0 || body.Draining:
+		body.Status = "unhealthy"
+		if body.Error == "" && body.Draining {
+			body.Error = "draining: this node's streams moved to a successor"
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintf(w, "unhealthy: %v (%s)\n", s.pool.HealthErr(), detail)
+		json.NewEncoder(w).Encode(body)
 	case st.Healthy < st.Shards:
-		fmt.Fprintf(w, "degraded: %v (%s)\n", s.pool.HealthErr(), detail)
+		body.Status = "degraded"
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(body)
 	default:
-		fmt.Fprintf(w, "ok (%s)\n", detail)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ok (healthy %d/%d, quarantined %d, probation %d, retired %d, recoveries %d)\n",
+			st.Healthy, st.Shards, st.Quarantined, st.Probation, st.Retired, st.Recoveries)
 	}
 }
 
