@@ -182,6 +182,11 @@ func run() int {
 					Probation:     st.Probation,
 					Retired:       st.Retired,
 					CapacityWords: *capacity,
+					// The drain latch rides every heartbeat so the
+					// controller can spot a drained zombie (latched
+					// node still in rotation after a failed rollback)
+					// and keep clients away from it.
+					Draining: srv.Draining(),
 				}
 			},
 			Logf: log.Printf,

@@ -80,6 +80,7 @@ type node struct {
 	capacity uint64  // declared words/s; guarded by Controller.mu
 	healthy  int     // healthy shards from the last heartbeat; guarded by Controller.mu
 	shards   int     // pool shards from the last heartbeat (0 = not reported yet); guarded by Controller.mu
+	draining bool    // node-reported drain latch from the last heartbeat; guarded by Controller.mu
 	assigned []Range // normalized logical shard ranges; guarded by Controller.mu
 }
 
@@ -176,19 +177,24 @@ func (c *Controller) Register(info NodeInfo) (RegisterResult, error) {
 	if !ok {
 		n = &node{id: info.ID}
 		c.nodes[info.ID] = n
-	} else if (n.state == StateDraining || n.state == StateDrained) && t == nil {
+	} else if (n.state == StateDraining || n.state == StateDrained) && (t == nil || t.nodeID != info.ID) {
 		// This ID's streams are moving (or moved) to a successor. A
 		// re-registration without a live drain ticket is almost
 		// certainly the drained process restarted against its
 		// pre-drain state file — letting it serve would fork every
-		// stream the successor continues.
+		// stream the successor continues. Only the node's OWN ticket
+		// readmits it (the resumed-from-its-own-blob case): another
+		// node's live token proves nothing about THIS node's streams,
+		// and accepting it would hand over ranges whose state this
+		// node does not hold.
 		return RegisterResult{}, fmt.Errorf(
-			"fleet: register %s: node is %s; claim its streams with the drain's resume token, or boot fresh under a new node ID",
+			"fleet: register %s: node is %s; claim its streams with its own drain's resume token, or boot fresh under a new node ID",
 			info.ID, n.state)
 	}
 	n.url = info.URL
 	n.capacity = info.CapacityWords
 	n.state = StateAlive
+	n.draining = false // registration declares intent to serve
 	n.lastBeat = now
 	n.healthy, n.shards = 0, 0 // unknown until the first heartbeat; budget uses full capacity
 	if info.ResumeToken != "" {
@@ -238,8 +244,16 @@ func (c *Controller) claimTicketLocked(t *ticket, n *node) []Range {
 }
 
 // Heartbeat ingests a node's periodic health report. Unknown nodes
-// get ErrUnknownNode — the agent's cue to re-register.
+// get ErrUnknownNode — the agent's cue to re-register. Reports that
+// cannot describe a real pool (negative counts, more healthy shards
+// than shards — curl is a documented client, so malformed input WILL
+// arrive) are rejected before anything is stored: folding one into
+// deratedLocked would inflate a node's budget past its declared
+// capacity, silently breaking the never-over-commit invariant.
 func (c *Controller) Heartbeat(id string, r HeartbeatReport) error {
+	if r.Healthy < 0 || r.Shards < 0 || r.Healthy > r.Shards {
+		return fmt.Errorf("fleet: heartbeat %s: impossible health report: healthy=%d shards=%d", id, r.Healthy, r.Shards)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.cfg.Clock()
@@ -270,6 +284,7 @@ func (c *Controller) Heartbeat(id string, r HeartbeatReport) error {
 	if r.Shards > 0 {
 		n.healthy, n.shards = r.Healthy, r.Shards
 	}
+	n.draining = r.Draining
 	c.advanceLocked(now)
 	c.shedLocked(n)
 	c.placeLocked()
@@ -455,11 +470,16 @@ func (c *Controller) WaitEndpoints(ctx context.Context, since uint64) (uint64, [
 }
 
 // refreshEndpointsLocked recomputes the alive-node endpoint list and
-// bumps the version when it changed, waking long-poll watchers.
+// bumps the version when it changed, waking long-poll watchers. An
+// alive node whose own heartbeat reports a latched drain is excluded:
+// it is a drained zombie (its drain's rollback never reached it) that
+// 503s every draw, and routing clients at it until an operator clears
+// the latch would waste every one of those requests. The exclusion is
+// heartbeat-driven, so it reverses itself the beat after an undrain.
 func (c *Controller) refreshEndpointsLocked() {
 	ids := make([]string, 0, len(c.nodes))
 	for id, n := range c.nodes {
-		if n.state == StateAlive {
+		if n.state == StateAlive && !n.draining {
 			ids = append(ids, id)
 		}
 	}
@@ -522,6 +542,7 @@ func (c *Controller) Status() Status {
 			AssignedWidth: width(n.assigned),
 			Healthy:       n.healthy,
 			Shards:        n.shards,
+			Draining:      n.draining,
 			LastBeat:      n.lastBeat,
 		})
 	}

@@ -542,3 +542,117 @@ func TestControllerRegisterValidation(t *testing.T) {
 		t.Fatalf("nil clock must be rejected, got %v", err)
 	}
 }
+
+// TestControllerDrainedRejectsForeignTicket: a draining/drained ID
+// may only re-register by presenting its OWN drain ticket. Another
+// node's live token proves nothing about this node's streams —
+// accepting it would readmit the retired ID and hand it frozen
+// ranges whose stream state it does not hold.
+func TestControllerDrainedRejectsForeignTicket(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+	mustRegister(t, c, "b", "http://b", 64_000)
+
+	tkA, err := c.BeginDrain("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tkB, err := c.BeginDrain("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Draining "a" presenting b's live ticket must be refused.
+	if _, err := c.Register(NodeInfo{ID: "a", URL: "http://a", CapacityWords: 64_000, ResumeToken: tkB.Token}); err == nil {
+		t.Fatal("draining node re-registered with another node's ticket")
+	}
+	// b's ticket must still be open and claimable by a real successor.
+	if st := c.Status(); len(st.Tickets) != 2 {
+		t.Fatalf("tickets after refused claim: %+v, want both still open", st.Tickets)
+	}
+	assertInvariants(t, c)
+
+	// Same refusal once the predecessor is fully drained: a successor
+	// claims a's ticket, then "a" itself shows up waving b's token.
+	if _, err := c.Register(NodeInfo{ID: "a2", URL: "http://a2", CapacityWords: 64_000, ResumeToken: tkA.Token}); err != nil {
+		t.Fatal(err)
+	}
+	if got := nodeByID(t, c.Status(), "a").State; got != "drained" {
+		t.Fatalf("predecessor state %q, want drained", got)
+	}
+	if _, err := c.Register(NodeInfo{ID: "a", URL: "http://a", CapacityWords: 64_000, ResumeToken: tkB.Token}); err == nil {
+		t.Fatal("drained node re-registered with another node's ticket")
+	}
+	// Its own ticket is the legitimate path (resumed-from-own-blob).
+	if _, err := c.Register(NodeInfo{ID: "b", URL: "http://b", CapacityWords: 64_000, ResumeToken: tkB.Token}); err != nil {
+		t.Fatalf("own-ticket re-registration refused: %v", err)
+	}
+	assertInvariants(t, c)
+}
+
+// TestControllerHeartbeatRejectsImpossibleHealth: reports that cannot
+// describe a real pool are rejected before they reach the budget
+// math — a negative Healthy converts to a huge uint64 and
+// Healthy > Shards derates capacity ABOVE the declared value, both
+// silently breaking the never-over-commit invariant.
+func TestControllerHeartbeatRejectsImpossibleHealth(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+
+	for _, r := range []HeartbeatReport{
+		{Shards: 8, Healthy: -1},
+		{Shards: -8, Healthy: -8},
+		{Shards: 8, Healthy: 9},
+	} {
+		if err := c.Heartbeat("a", r); err == nil {
+			t.Fatalf("impossible report %+v accepted", r)
+		}
+	}
+	// Nothing was stored: the node still rates its full declared
+	// capacity, not an inflated one.
+	n := nodeByID(t, c.Status(), "a")
+	if n.Healthy != 0 || n.Shards != 0 {
+		t.Fatalf("rejected report leaked into state: %+v", n)
+	}
+	if n.DeratedWords > n.CapacityWords {
+		t.Fatalf("derated %d exceeds declared %d", n.DeratedWords, n.CapacityWords)
+	}
+	// A sane report still lands.
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	assertInvariants(t, c)
+}
+
+// TestControllerHeartbeatDrainingExcludesFromEndpoints: an alive node
+// whose heartbeat reports a latched drain is a zombie that 503s every
+// draw — it must leave the endpoint list until the latch clears.
+func TestControllerHeartbeatDrainingExcludesFromEndpoints(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := NewController(testConfig(clk))
+	mustRegister(t, c, "a", "http://a", 64_000)
+	mustRegister(t, c, "b", "http://b", 64_000)
+
+	r := healthyBeat(8)
+	r.Draining = true
+	if err := c.Heartbeat("a", r); err != nil {
+		t.Fatal(err)
+	}
+	if _, eps := c.Endpoints(); len(eps) != 1 || eps[0] != "http://b" {
+		t.Fatalf("endpoints with zombie a: %v, want just b", eps)
+	}
+	if n := nodeByID(t, c.Status(), "a"); !n.Draining || n.State != "alive" {
+		t.Fatalf("zombie not surfaced in status: %+v", n)
+	}
+
+	// The latch clearing (undrain succeeded) readmits it next beat.
+	if err := c.Heartbeat("a", healthyBeat(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, eps := c.Endpoints(); len(eps) != 2 {
+		t.Fatalf("endpoints after latch cleared: %v, want both", eps)
+	}
+	assertInvariants(t, c)
+}

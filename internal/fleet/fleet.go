@@ -189,6 +189,13 @@ type HeartbeatReport struct {
 	// value) — a node that re-benchmarks itself can tell the
 	// controller.
 	CapacityWords uint64 `json:"capacity_words,omitempty"`
+	// Draining reports the node's drain latch: it committed a
+	// stream-preserving drain and refuses every draw. A node the
+	// controller itself is draining reports this expectedly; an
+	// *alive* node reporting it is a drained zombie (its drain's
+	// rollback never reached it) and is kept out of the endpoint list
+	// until the latch clears.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // NodeStatus is one node's row in a fleet snapshot.
@@ -203,6 +210,7 @@ type NodeStatus struct {
 	AssignedWidth uint64    `json:"assigned_width"`
 	Healthy       int       `json:"healthy"`
 	Shards        int       `json:"shards"`
+	Draining      bool      `json:"draining,omitempty"`
 	LastBeat      time.Time `json:"last_beat"`
 }
 

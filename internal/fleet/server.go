@@ -38,9 +38,13 @@ const (
 	DefaultWatchHold    = 30 * time.Second
 )
 
-// maxDrainBlob caps the pool snapshot size the controller will relay
-// during a drain — a corrupted node must not OOM the control plane.
-const maxDrainBlob = 1 << 30
+// DefaultMaxDrainBlob caps the pool snapshot size the controller will
+// relay during a drain — a corrupted node must not OOM the control
+// plane. A blob over the cap FAILS the drain (and rolls it back)
+// rather than being truncated: a silently cut blob would retire the
+// node and boot the successor from corrupt state, an unrecoverable
+// planned drain.
+const DefaultMaxDrainBlob = 1 << 30
 
 // ServerOptions tunes the controller's HTTP layer.
 type ServerOptions struct {
@@ -54,6 +58,10 @@ type ServerOptions struct {
 	// WatchHold is the longest a GET /v1/endpoints long-poll is held
 	// before answering with the unchanged list (0 = DefaultWatchHold).
 	WatchHold time.Duration
+	// MaxDrainBlob caps the node snapshot size relayed during POST
+	// /v1/drain; a larger blob fails the drain instead of being
+	// truncated (0 = DefaultMaxDrainBlob).
+	MaxDrainBlob int64
 }
 
 // Server is the HTTP skin over a Controller:
@@ -77,6 +85,7 @@ type Server struct {
 	nodeClient *http.Client
 	drainTO    time.Duration
 	watchHold  time.Duration
+	maxBlob    int64
 }
 
 // NewServer wraps ctrl in its HTTP API.
@@ -86,6 +95,7 @@ func NewServer(ctrl *Controller, opts ServerOptions) *Server {
 		nodeClient: opts.NodeClient,
 		drainTO:    opts.DrainTimeout,
 		watchHold:  opts.WatchHold,
+		maxBlob:    opts.MaxDrainBlob,
 	}
 	if s.nodeClient == nil {
 		s.nodeClient = &http.Client{}
@@ -95,6 +105,9 @@ func NewServer(ctrl *Controller, opts ServerOptions) *Server {
 	}
 	if s.watchHold <= 0 {
 		s.watchHold = DefaultWatchHold
+	}
+	if s.maxBlob <= 0 {
+		s.maxBlob = DefaultMaxDrainBlob
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/register", s.serveRegister)
@@ -235,8 +248,10 @@ func (s *Server) serveFleet(w http.ResponseWriter, r *http.Request) {
 // its pool snapshot, and relay the blob to the caller with the
 // resume token in X-Fleet-Resume-Token. The caller boots the
 // replacement randd from the blob with that token; if the node-side
-// snapshot fails, the drain is aborted and the node goes straight
-// back into rotation — a failed drain must not strand capacity.
+// snapshot or the relay fails, the drain is rolled back on BOTH sides
+// (the node's latch via POST /undrain, the ticket via AbortDrain) and
+// the node goes straight back into rotation — a failed drain must not
+// strand capacity.
 func (s *Server) serveDrain(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
@@ -264,6 +279,18 @@ func (s *Server) serveDrain(w http.ResponseWriter, r *http.Request) {
 	}
 	blob, err := s.drainNode(r.Context(), url)
 	if err != nil {
+		// The node may have latched its drain even though the relay
+		// failed (e.g. the body read broke after the node committed).
+		// Roll the latch back BEFORE re-admitting the node to the
+		// endpoint list: the blob never reached a successor and the
+		// ticket dies in AbortDrain, so un-draining cannot fork a
+		// stream — but skipping it would leave a zombie that 503s
+		// every draw while the controller keeps routing clients and
+		// placement at it. If even the rollback fails, the node's own
+		// heartbeats report the latch and keep it out of endpoints.
+		if uerr := s.undrainNode(url); uerr != nil {
+			err = fmt.Errorf("%w (and node-side undrain failed: %v; the node reports its drain latch via heartbeats until an operator clears it)", err, uerr)
+		}
 		if aerr := s.ctrl.AbortDrain(tk.Token); aerr != nil {
 			err = fmt.Errorf("%w (and abort failed: %v)", err, aerr)
 		}
@@ -297,12 +324,47 @@ func (s *Server) drainNode(ctx context.Context, nodeURL string) ([]byte, error) 
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
 		return nil, fmt.Errorf("node /drain: %s: %s", resp.Status, msg)
 	}
-	blob, err := io.ReadAll(io.LimitReader(resp.Body, maxDrainBlob))
+	if resp.ContentLength > s.maxBlob {
+		return nil, fmt.Errorf("node /drain: snapshot is %d bytes, over the %d-byte relay cap", resp.ContentLength, s.maxBlob)
+	}
+	// Read one byte past the cap so an over-cap blob is a detected
+	// failure (→ abort + undrain), never a silent truncation that
+	// retires the node and boots the successor from corrupt state.
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, s.maxBlob+1))
 	if err != nil {
 		return nil, fmt.Errorf("node /drain body: %w", err)
+	}
+	if int64(len(blob)) > s.maxBlob {
+		return nil, fmt.Errorf("node /drain: snapshot exceeds the %d-byte relay cap", s.maxBlob)
 	}
 	if len(blob) == 0 {
 		return nil, errors.New("node /drain: empty snapshot")
 	}
 	return blob, nil
+}
+
+// undrainNode rolls a node's drain latch back after a failed relay:
+// the snapshot never reached the caller and the drain ticket is being
+// aborted, so the node must return to service instead of refusing
+// every draw as a permanent zombie. Deliberately not bound to the
+// (possibly already dead) drain request's context — the rollback must
+// proceed even when the drain's caller hung up, which may be exactly
+// why the relay failed.
+func (s *Server) undrainNode(nodeURL string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.drainTO)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, nodeURL+"/undrain", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.nodeClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("node /undrain: %s", resp.Status)
+	}
+	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -273,5 +274,135 @@ func TestServerMethodDiscipline(t *testing.T) {
 		if resp.StatusCode != http.StatusMethodNotAllowed {
 			t.Fatalf("GET %s: %s, want 405", path, resp.Status)
 		}
+	}
+}
+
+// drainableNode is a fake randd admin surface: /drain answers with a
+// configurable (possibly broken) body and latches draining; /undrain
+// clears the latch. It lets the relay-failure tests assert the
+// controller rolls the node-side latch back.
+type drainableNode struct {
+	mu       sync.Mutex
+	draining bool
+	undrains int
+	serve    func(w http.ResponseWriter)
+}
+
+func (d *drainableNode) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/drain":
+			d.draining = true
+			d.serve(w)
+		case r.Method == http.MethodPost && r.URL.Path == "/undrain":
+			d.draining = false
+			d.undrains++
+			fmt.Fprintln(w, `{"draining":false}`)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+}
+
+func (d *drainableNode) state() (draining bool, undrains int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.draining, d.undrains
+}
+
+// TestServerDrainRelayFailureRollsBackNodeLatch: when the node
+// commits its drain but the controller-side relay fails (body read
+// error after 200), the controller must clear the node's latch via
+// /undrain BEFORE re-admitting it — otherwise the fleet routes
+// clients and placement at a node that 503s every draw forever.
+func TestServerDrainRelayFailureRollsBackNodeLatch(t *testing.T) {
+	dn := &drainableNode{serve: func(w http.ResponseWriter) {
+		// Declare more body than we send: the handler's short write
+		// makes net/http sever the connection, so the controller's
+		// read fails after the node already latched.
+		w.Header().Set("Content-Length", "100")
+		w.Write([]byte("short"))
+	}}
+	node := httptest.NewServer(dn.handler())
+	defer node.Close()
+
+	clk := newFakeClock()
+	ctrl, srv := newTestServer(t, clk, ServerOptions{})
+	postAs[RegisterResult](t, srv.URL+"/v1/register",
+		NodeInfo{ID: "a", URL: node.URL, CapacityWords: 64_000})
+
+	resp, err := http.Post(srv.URL+"/v1/drain?id=a", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("failed relay: %s, want 502", resp.Status)
+	}
+	if draining, undrains := dn.state(); draining || undrains != 1 {
+		t.Fatalf("node latch after failed relay: draining=%v undrains=%d, want undrained exactly once", draining, undrains)
+	}
+	if _, eps := ctrl.Endpoints(); len(eps) != 1 {
+		t.Fatalf("node not restored after failed relay: %v", eps)
+	}
+	if st := ctrl.Status(); len(st.Tickets) != 0 {
+		t.Fatalf("ticket leaked: %+v", st.Tickets)
+	}
+	if err := ctrl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerDrainOversizeBlobFailsLoudly: a snapshot over the relay
+// cap must FAIL the drain (abort + node-side undrain), never be
+// silently truncated — a truncated blob would retire the node and
+// boot the successor from corrupt state. Both detection paths are
+// exercised: a declared Content-Length over the cap, and a chunked
+// body that only reveals its size while being read.
+func TestServerDrainOversizeBlobFailsLoudly(t *testing.T) {
+	big := bytes.Repeat([]byte("x"), 32)
+	for name, serve := range map[string]func(w http.ResponseWriter){
+		"declared": func(w http.ResponseWriter) {
+			w.Header().Set("Content-Length", "32")
+			w.Write(big)
+		},
+		"chunked": func(w http.ResponseWriter) {
+			w.Write(big[:16])
+			w.(http.Flusher).Flush()
+			w.Write(big[16:])
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			dn := &drainableNode{serve: serve}
+			node := httptest.NewServer(dn.handler())
+			defer node.Close()
+
+			clk := newFakeClock()
+			ctrl, srv := newTestServer(t, clk, ServerOptions{MaxDrainBlob: 16})
+			postAs[RegisterResult](t, srv.URL+"/v1/register",
+				NodeInfo{ID: "a", URL: node.URL, CapacityWords: 64_000})
+
+			resp, err := http.Post(srv.URL+"/v1/drain?id=a", "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadGateway || !strings.Contains(string(msg), "relay cap") {
+				t.Fatalf("oversize drain: %s %q, want 502 about the relay cap", resp.Status, msg)
+			}
+			if draining, undrains := dn.state(); draining || undrains != 1 {
+				t.Fatalf("node latch after oversize drain: draining=%v undrains=%d", draining, undrains)
+			}
+			if _, eps := ctrl.Endpoints(); len(eps) != 1 {
+				t.Fatalf("node not restored: %v", eps)
+			}
+			if err := ctrl.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }

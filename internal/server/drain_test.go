@@ -178,6 +178,150 @@ func TestDrainWaitsForInFlight(t *testing.T) {
 	}
 }
 
+// TestDrainWaitsForInFlightWithSheddingDisabled: the drain's
+// quiescence wait runs on the in-flight count, so the count must be
+// maintained even when shedding is off (MaxInFlight < 0). A
+// regression here lets /drain marshal the blob while a draw is still
+// consuming the pool — the successor resumes forked streams.
+func TestDrainWaitsForInFlightWithSheddingDisabled(t *testing.T) {
+	pool, err := hybridprng.NewPool(resumeOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pool, Options{MaxInFlight: -1, DrainWait: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := httptest.NewServer(srv.Handler())
+	defer ht.Close()
+
+	// Pin an in-flight draw with an unbounded stream we never read out.
+	resp, err := http.Get(ht.URL + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var one [1]byte
+	if _, err := io.ReadFull(resp.Body, one[:]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The drain must SEE that draw and abort when it outlasts
+	// DrainWait — not conclude the pool is quiescent and hand the
+	// blob over while the stream keeps drawing.
+	dresp, err := http.Post(ht.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "in flight") {
+		t.Fatalf("drain with shedding disabled and a live stream: %d %s, want 503 about in-flight draws", dresp.StatusCode, body)
+	}
+	resp.Body.Close()
+
+	// With the stream gone the drain goes through.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		dresp, err := http.Post(ht.URL+"/drain", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, _ := io.ReadAll(dresp.Body)
+		dresp.Body.Close()
+		if dresp.StatusCode == http.StatusOK && len(blob) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("drain after stream closed: %d (%d bytes)", dresp.StatusCode, len(blob))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestUndrainRestoresService: /undrain is the orchestrator's rollback
+// for a drain whose blob never reached a successor — it clears the
+// latch, draws are admitted again, and a later drain can run.
+func TestUndrainRestoresService(t *testing.T) {
+	pool, err := hybridprng.NewPool(resumeOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(pool, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := httptest.NewServer(srv.Handler())
+	defer ht.Close()
+
+	resp, err := http.Post(ht.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %d", resp.StatusCode)
+	}
+	if code, _ := get(t, ht.URL+"/u64"); code != http.StatusServiceUnavailable {
+		t.Fatalf("draw after drain: %d, want 503", code)
+	}
+
+	// GET is refused; POST clears the latch and says it did.
+	gresp, err := http.Get(ht.URL + "/undrain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, gresp.Body)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /undrain: %d, want 405", gresp.StatusCode)
+	}
+	uresp, err := http.Post(ht.URL+"/undrain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var receipt struct {
+		Draining    bool `json:"draining"`
+		WasDraining bool `json:"was_draining"`
+	}
+	err = json.NewDecoder(uresp.Body).Decode(&receipt)
+	uresp.Body.Close()
+	if err != nil || uresp.StatusCode != http.StatusOK {
+		t.Fatalf("undrain: %d err %v", uresp.StatusCode, err)
+	}
+	if receipt.Draining || !receipt.WasDraining {
+		t.Fatalf("undrain receipt %+v, want draining=false was_draining=true", receipt)
+	}
+	if srv.Draining() {
+		t.Fatal("server still draining after undrain")
+	}
+	if code, body := get(t, ht.URL+"/u64"); code != http.StatusOK {
+		t.Fatalf("draw after undrain: %d %s", code, body)
+	}
+
+	// Idempotent, and a fresh drain works afterwards.
+	uresp, err = http.Post(ht.URL+"/undrain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(uresp.Body).Decode(&receipt); err != nil {
+		t.Fatal(err)
+	}
+	uresp.Body.Close()
+	if receipt.WasDraining {
+		t.Fatalf("second undrain receipt %+v, want was_draining=false", receipt)
+	}
+	resp, err = http.Post(ht.URL+"/drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(blob) == 0 {
+		t.Fatalf("drain after undrain: %d (%d bytes)", resp.StatusCode, len(blob))
+	}
+}
+
 // TestDrainAbortRestoresService: when in-flight draws outlast
 // DrainWait the drain gives up, and the node goes straight back to
 // serving — a failed handoff must not strand capacity.

@@ -22,6 +22,11 @@
 //	                 refuses draws permanently afterwards — serving
 //	                 even one more word would fork the streams the
 //	                 successor resumes. 409 if already draining.
+//	POST /undrain    roll back a committed drain whose blob never
+//	                 reached a successor (the orchestrator's relay
+//	                 failed and the drain ticket was aborted): draws
+//	                 are admitted again. Orchestrator-only — calling
+//	                 it after the blob was handed over forks streams.
 //
 // All draw endpoints pull through the pool's batched Fill path, so
 // one HTTP request amortises shard locks over thousands of words.
@@ -304,6 +309,7 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	mux.Handle("/metrics", s.protect(http.HandlerFunc(s.serveMetrics)))
 	mux.Handle("/snapshot", s.protect(http.HandlerFunc(s.serveSnapshot)))
 	mux.Handle("/drain", s.protect(http.HandlerFunc(s.serveDrain)))
+	mux.Handle("/undrain", s.protect(http.HandlerFunc(s.serveUndrain)))
 	s.mux = mux
 	return s, nil
 }
@@ -330,24 +336,33 @@ func (s *Server) protect(next http.Handler) http.Handler {
 // a Retry-After hint. Failing fast beats queueing without bound: the
 // caller's load balancer can retry a sibling immediately, and the
 // requests already in flight keep their full share of the pool.
+//
+// Admission order is load-bearing for drain correctness: the
+// in-flight count is taken BEFORE the draining check, and serveDrain
+// reads the count only AFTER flipping draining on — so every draw is
+// either visible to the drain's quiescence wait or observes draining
+// and refuses. (Checking draining first would leave a window where a
+// draw admitted pre-flip has not yet incremented the count, the wait
+// sees zero, and the node serves words after its state blob went to a
+// successor — forking the resumed streams.) The count is maintained
+// even with shedding disabled (MaxInFlight < 0) because the drain
+// wait depends on it.
 func (s *Server) shed(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := s.inFlight.Add(1)
+		defer s.inFlight.Add(-1)
 		if s.draining.Load() {
 			s.requests.Add(1)
 			s.fail(w, http.StatusServiceUnavailable, "draining: this node's streams moved to a successor")
 			return
 		}
-		if s.maxInFlight > 0 {
-			if s.inFlight.Add(1) > s.maxInFlight {
-				s.inFlight.Add(-1)
-				s.sheds.Add(1)
-				s.requests.Add(1)
-				s.reqErrs.Add(1)
-				w.Header().Set("Retry-After", "1")
-				http.Error(w, "server at capacity", http.StatusTooManyRequests)
-				return
-			}
-			defer s.inFlight.Add(-1)
+		if s.maxInFlight > 0 && n > s.maxInFlight {
+			s.sheds.Add(1)
+			s.requests.Add(1)
+			s.reqErrs.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server at capacity", http.StatusTooManyRequests)
+			return
 		}
 		next.ServeHTTP(w, r)
 	})
@@ -503,6 +518,32 @@ func (s *Server) serveDrain(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", strconv.Itoa(len(blob)))
 	w.Header().Set("X-Randd-Epoch", s.epoch)
 	w.Write(blob)
+}
+
+// serveUndrain rolls back a committed drain, re-admitting draws. It
+// exists for exactly one caller: the drain orchestrator whose relay
+// of the drain blob failed after this node had already latched
+// draining (e.g. the body read broke mid-transfer). In that case the
+// blob never reached a successor and the controller aborted the drain
+// ticket, so the latch is all that remains of the failed drain —
+// without this endpoint the node would 503 every draw forever while
+// the controller keeps routing clients at it. It must never be called
+// once the blob was handed to a successor: that successor continues
+// the streams, and this node serving even one more word would fork
+// them. Idempotent; the receipt says whether a latch was cleared.
+func (s *Server) serveUndrain(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	was := s.draining.Swap(false)
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	json.NewEncoder(w).Encode(struct {
+		Draining    bool `json:"draining"`
+		WasDraining bool `json:"was_draining"`
+	}{false, was})
 }
 
 // Draining reports whether the server has drained (or is draining):
