@@ -3,7 +3,7 @@
 
 GOPATH_BIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint lint-vet fmt check battery-short battery-long bench-seed bench-gate fleet-drill
+.PHONY: build test race lint lint-vet fmt check battery-short battery-long bench-seed bench-gate fleet-drill substream-test
 
 build:
 	go build ./...
@@ -42,9 +42,12 @@ battery-long:
 ## trajectories. The BENCH_*.json files are merge-appended: the fresh
 ## run becomes the top level and the previous run is pushed onto the
 ## bounded history list, so the committed file shows the PR-over-PR
-## trajectory, not just the latest point.
+## trajectory, not just the latest point. The quality battery
+## (parallel + pool + derived substreams) rides the same machinery
+## via crossstream -benchtext.
 bench-seed:
-	go run ./cmd/crossstream -out BENCH_quality.json
+	go run ./cmd/crossstream -benchtext \
+		| go run ./cmd/benchseed -out BENCH_quality.json -merge
 	go test -run '^$$' -bench 'BenchmarkPool|BenchmarkGetNextRand' -benchtime 0.5s . \
 		| go run ./cmd/benchseed -out BENCH_pool.json -merge
 	go test -run '^$$' -bench 'BenchmarkServe' -benchtime 0.5s ./internal/server \
@@ -60,6 +63,15 @@ bench-gate:
 		| go run ./cmd/benchseed -gate BENCH_pool.json
 	go test -run '^$$' -bench 'BenchmarkServe' -benchtime 0.5s ./internal/server \
 		| go run ./cmd/benchseed -gate BENCH_server.json
+
+## substream-test: the per-tenant substream acceptance loop — the
+## registry package under the race detector (keyed-draw concurrency
+## stress, fakeClock rate limits, golden vectors, state fuzzers' seed
+## corpora) plus the keyed server/client drills (kill-resume, drain
+## hand-over, 429 metering, Substream handles).
+substream-test:
+	go test -race -count=1 ./internal/substream
+	go test -race -count=1 -run 'Substream|Keyed|NodeState' ./internal/server ./client
 
 ## fleet-drill: the control-plane acceptance drill — controller +
 ## three nodes + SDK client on loopback, seeded kill and a

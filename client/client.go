@@ -19,6 +19,7 @@
 //	v, err := cl.Uint64()        // served from the prefetch ring
 //	n, err := cl.Read(buf)       // io.Reader
 //	r := cl.Rand()               // *math/rand/v2.Rand
+//	sub, err := cl.Substream("tenant-a") // per-tenant derived stream
 //
 // # Prefetch ring
 //
@@ -54,9 +55,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/substream"
 )
 
 // Defaults for Options fields left zero.
@@ -190,6 +194,20 @@ type Client struct {
 	http *http.Client
 	eps  *endpointSet
 
+	// drawPath is the server route this client's ring drains:
+	// "/bytes" for the shared pool, "/v1/stream/{key}/bytes" for a
+	// Substream handle. Fixed at construction.
+	drawPath string
+
+	// parent is non-nil on a Substream handle and points at the root
+	// client that owns the endpoint fleet and the substream cache.
+	parent *Client
+
+	// subs caches Substream handles by canonical key so repeated
+	// lookups of one tenant share one prefetch ring.
+	subMu sync.Mutex
+	subs  map[string]*Client // guarded by subMu
+
 	// now is the clock (Options.Clock or the wall clock); after is
 	// the matching wait primitive. after stays package-private: tests
 	// swap it so backoff pauses ride a fake clock instead of real
@@ -213,6 +231,12 @@ type Client struct {
 	// draw can fail with the real cause instead of a bare timeout;
 	// cleared on the next successful fetch.
 	fetchErr atomic.Pointer[fetchError]
+
+	// shedUntil (unix nanos) backs off this handle after its tenant's
+	// token bucket shed a keyed fetch with 429. Handle-local on
+	// purpose: a per-tenant quota says nothing about endpoint health,
+	// so the shared failover state must not absorb it.
+	shedUntil atomic.Int64
 
 	blockWords atomic.Int64 // current adaptive block size
 
@@ -248,15 +272,16 @@ func New(opts Options) (*Client, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c := &Client{
-		opts:   opts,
-		http:   hc,
-		eps:    eps,
-		ctx:    ctx,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		blocks: make(chan []byte, 1),
-		now:    opts.Clock,
-		after:  opts.after,
+		opts:     opts,
+		http:     hc,
+		eps:      eps,
+		drawPath: "/bytes",
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		blocks:   make(chan []byte, 1),
+		now:      opts.Clock,
+		after:    opts.after,
 	}
 	if c.now == nil {
 		c.now = time.Now //lint:wallclock default when Options.Clock is nil; the injection point IS Options.Clock
@@ -283,12 +308,81 @@ func (c *Client) SetEndpoints(endpoints []string) error {
 	return c.eps.setEndpoints(endpoints)
 }
 
+// Substream returns a Client handle over the tenant stream derived
+// for key — the consumer half of the server's /v1/stream/{key}
+// routes. The handle is a full Client: it runs its own prefetch ring
+// against "/v1/stream/{key}/bytes" (so one tenant outrunning the
+// network never stalls another), while sharing the root client's
+// endpoint fleet, failover bookkeeping and HTTP transport. Handles
+// are cached per canonical key: two spellings the server would
+// canonicalize to the same tenant return the same handle, mirroring
+// the registry's own aliasing rule. Key validation happens here,
+// client-side, with the same typed *substream.KeyError the server
+// would answer 400 with — a bad key never costs a round trip.
+//
+// Closing a Substream handle releases its ring; a later Substream
+// call with the same key builds a fresh handle whose draws continue
+// the tenant's server-side stream position. Closing the root client
+// closes every handle.
+func (c *Client) Substream(key string) (*Client, error) {
+	if c.parent != nil {
+		// Substreams hang off the root client; derive from there so
+		// the cache stays flat and paths never nest.
+		return c.parent.Substream(key)
+	}
+	canon, err := substream.Canonical(key)
+	if err != nil {
+		return nil, err
+	}
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	if sc, ok := c.subs[canon]; ok && sc.ctx.Err() == nil {
+		return sc, nil
+	}
+	if c.ctx.Err() != nil {
+		return nil, ErrClosed
+	}
+	ctx, cancel := context.WithCancel(c.ctx)
+	sc := &Client{
+		opts:     c.opts,
+		http:     c.http,
+		eps:      c.eps,
+		drawPath: "/v1/stream/" + url.PathEscape(canon) + "/bytes",
+		parent:   c,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		blocks:   make(chan []byte, 1),
+		now:      c.now,
+		after:    c.after,
+	}
+	sc.blockWords.Store(int64(c.opts.BlockWords))
+	if c.subs == nil {
+		c.subs = make(map[string]*Client)
+	}
+	c.subs[canon] = sc
+	go sc.refill()
+	return sc, nil
+}
+
 // Close stops the refill goroutine and releases the ring. Draws
 // after Close return ErrClosed; a draw blocked on the ring is
-// unblocked promptly.
+// unblocked promptly. Closing the root client also closes every
+// cached Substream handle; closing a handle leaves its siblings and
+// the root untouched.
 func (c *Client) Close() error {
 	c.cancel()
 	<-c.done
+	c.subMu.Lock()
+	subs := make([]*Client, 0, len(c.subs))
+	for _, sc := range c.subs {
+		subs = append(subs, sc)
+	}
+	c.subs = nil
+	c.subMu.Unlock()
+	for _, sc := range subs {
+		sc.Close()
+	}
 	return nil
 }
 

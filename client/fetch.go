@@ -22,6 +22,27 @@ func (c *Client) fetchBlock(words int) ([]byte, *endpoint, error) {
 		if err := c.ctx.Err(); err != nil {
 			return nil, nil, err
 		}
+		// A Substream handle inside its tenant's shed window waits it
+		// out here instead of hammering a perfectly healthy endpoint
+		// with draws the token bucket will refuse anyway.
+		if until := time.Unix(0, c.shedUntil.Load()); c.now().Before(until) {
+			if c.now().After(deadline) {
+				if lastErr == nil {
+					lastErr = fmt.Errorf("client: tenant stream shed until %v", until)
+				}
+				return nil, nil, lastErr
+			}
+			wait := until.Sub(c.now())
+			if u := deadline.Sub(c.now()); wait > u {
+				wait = u + time.Millisecond
+			}
+			select {
+			case <-c.after(wait):
+			case <-c.ctx.Done():
+				return nil, nil, c.ctx.Err()
+			}
+			continue
+		}
 		ep, wait := c.eps.pick(c.now())
 		if ep == nil {
 			if c.now().After(deadline) {
@@ -147,8 +168,10 @@ func (c *Client) fetchHedged(primary *endpoint, words int) ([]byte, error) {
 	}
 }
 
-// fetchBytes performs one GET /bytes against ep and returns the
-// word-aligned prefix of the body. Endpoint health bookkeeping
+// fetchBytes performs one GET against ep's draw path — /bytes for
+// the shared pool, the keyed /v1/stream/{key}/bytes for a Substream
+// handle — and returns the word-aligned prefix of the body.
+// Endpoint health bookkeeping
 // happens here: 429 arms the Retry-After backoff, other failures arm
 // the exponential one, success clears it and records the
 // cooperation headers. A truncated body is both: its whole words are
@@ -158,36 +181,51 @@ func (c *Client) fetchHedged(primary *endpoint, words int) ([]byte, error) {
 func (c *Client) fetchBytes(ctx context.Context, ep *endpoint, words int) ([]byte, error) {
 	ctx, cancel := context.WithTimeout(ctx, c.opts.RequestTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.base+"/bytes?n="+strconv.Itoa(words*8), nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ep.base+c.drawPath+"?n="+strconv.Itoa(words*8), nil)
 	if err != nil {
 		return nil, err
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		c.eps.fail(ep, 0)
-		return nil, fmt.Errorf("client: %s/bytes: %w", ep.base, err)
+		return nil, fmt.Errorf("client: %s%s: %w", ep.base, c.drawPath, err)
 	}
 	defer resp.Body.Close()
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusTooManyRequests:
 		c.sheds.Add(1)
-		c.eps.fail(ep, parseRetryAfter(resp.Header))
+		// A 429 on the shared /bytes path means the server itself is
+		// overloaded — back the endpoint off fleet-wide. On a keyed
+		// substream path it means this tenant's token bucket ran dry,
+		// which says nothing about the endpoint's health: poisoning
+		// the shared failover state would stall every other tenant,
+		// so only this handle backs off, for the bucket's own
+		// Retry-After estimate.
+		ra := parseRetryAfter(resp.Header)
+		if c.parent == nil {
+			c.eps.fail(ep, ra)
+		} else {
+			if ra <= 0 {
+				ra = c.opts.BackoffBase
+			}
+			c.shedUntil.Store(c.now().Add(ra).UnixNano())
+		}
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
 		return nil, fmt.Errorf("client: %s shed the request (429)", ep.base)
 	default:
 		c.eps.fail(ep, 0)
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
-		return nil, fmt.Errorf("client: %s/bytes: %s", ep.base, resp.Status)
+		return nil, fmt.Errorf("client: %s%s: %s", ep.base, c.drawPath, resp.Status)
 	}
 	body, readErr := io.ReadAll(resp.Body)
 	usable := len(body) - len(body)%8
 	if usable == 0 {
 		c.eps.fail(ep, 0)
 		if readErr != nil {
-			return nil, fmt.Errorf("client: %s/bytes body: %w", ep.base, readErr)
+			return nil, fmt.Errorf("client: %s%s body: %w", ep.base, c.drawPath, readErr)
 		}
-		return nil, fmt.Errorf("client: %s/bytes: empty block", ep.base)
+		return nil, fmt.Errorf("client: %s%s: empty block", ep.base, c.drawPath)
 	}
 	if readErr != nil || len(body) != words*8 {
 		// Truncated: keep the aligned prefix, drop the torn tail,

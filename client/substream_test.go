@@ -1,0 +1,268 @@
+package client
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	hybridprng "repro"
+	"repro/internal/server"
+	"repro/internal/substream"
+)
+
+// newSubstreamServer boots an in-process randd with a substream
+// registry attached, returning the registry's config (for building
+// bitwise control registries) and the server's base URL.
+func newSubstreamServer(t testing.TB, cfg substream.Config) (substream.Config, *httptest.Server) {
+	t.Helper()
+	pool, err := hybridprng.NewPool(
+		hybridprng.WithSeed(7),
+		hybridprng.WithShards(2),
+		hybridprng.WithHealthMonitoring(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := substream.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(pool, server.Options{Substreams: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return cfg, ts
+}
+
+// subControl draws n words for key from a fresh control registry with
+// the same derivation config — the uninterrupted reference stream.
+func subControl(t testing.TB, cfg substream.Config, key string, n int) []uint64 {
+	t.Helper()
+	reg, err := substream.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint64, n)
+	if err := reg.Fill(key, out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSubstreamEquality: a Substream handle must see exactly the
+// tenant's derived word stream — the keyed prefetch ring reorders
+// nothing, loses nothing, and never leaks another tenant's words.
+func TestSubstreamEquality(t *testing.T) {
+	cfg, ts := newSubstreamServer(t, substream.Config{RootSeed: 20260808})
+	cl := newTestClient(t, Options{
+		Endpoints:     []string{ts.URL},
+		BlockWords:    512,
+		MinBlockWords: 512,
+		MaxBlockWords: 512,
+	})
+
+	sub, err := cl.Substream("tenant-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2048
+	want := subControl(t, cfg, "tenant-a", n)
+	got := make([]uint64, n)
+	if err := sub.Fill(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("word %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+
+	// A second tenant's handle draws a different derived stream, and
+	// the two handles coexist without cross-talk.
+	subB, err := cl.Substream("tenant-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB := subControl(t, cfg, "tenant-b", 64)
+	gotB := make([]uint64, 64)
+	if err := subB.Fill(gotB); err != nil {
+		t.Fatal(err)
+	}
+	for i := range gotB {
+		if gotB[i] != wantB[i] {
+			t.Fatalf("tenant-b word %d = %#x, want %#x", i, gotB[i], wantB[i])
+		}
+	}
+	if gotB[0] == want[0] {
+		t.Fatal("tenant-b stream opens identically to tenant-a — derivation collapsed")
+	}
+}
+
+// TestSubstreamCaching: handles are cached per canonical key — two
+// spellings the server would alias to one tenant share one ring —
+// and a handle's own Substream call resolves through the root.
+func TestSubstreamCaching(t *testing.T) {
+	_, ts := newSubstreamServer(t, substream.Config{RootSeed: 1})
+	cl := newTestClient(t, Options{Endpoints: []string{ts.URL}})
+
+	a, err := cl.Substream("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias, err := cl.Substream("  alice\t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alias != a {
+		t.Fatal("canonically equal keys returned distinct handles")
+	}
+	viaHandle, err := a.Substream("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaHandle != a {
+		t.Fatal("Substream on a handle did not resolve through the root cache")
+	}
+	if b, err := cl.Substream("bob"); err != nil || b == a {
+		t.Fatalf("distinct key: handle %p err %v", b, err)
+	}
+
+	// Invalid keys fail client-side with the registry's typed error —
+	// no round trip, no handle.
+	var ke *substream.KeyError
+	if _, err := cl.Substream("bad\x00key"); !errors.As(err, &ke) {
+		t.Fatalf("invalid key error = %v, want *substream.KeyError", err)
+	}
+	if _, err := cl.Substream(""); !errors.As(err, &ke) {
+		t.Fatalf("empty key error = %v, want *substream.KeyError", err)
+	}
+}
+
+// TestSubstreamCloseAndResume: closing a handle stops only that
+// handle; a recreated handle for the same key keeps drawing the same
+// tenant stream (later words of it — prefetched-but-undrained blocks
+// are the server's position, not a replay), and closing the root
+// closes every handle.
+func TestSubstreamCloseAndResume(t *testing.T) {
+	cfg, ts := newSubstreamServer(t, substream.Config{RootSeed: 99})
+	cl := newTestClient(t, Options{
+		Endpoints:     []string{ts.URL},
+		BlockWords:    512,
+		MinBlockWords: 512,
+		MaxBlockWords: 512,
+	})
+
+	sub, err := cl.Substream("resume-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]uint64, 512)
+	if err := sub.Fill(first); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub.Uint64(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("draw on closed handle = %v, want ErrClosed", err)
+	}
+
+	// The root client is unaffected by the handle's death.
+	if _, err := cl.Uint64(); err != nil {
+		t.Fatalf("root draw after handle close: %v", err)
+	}
+
+	sub2, err := cl.Substream("resume-me")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2 == sub {
+		t.Fatal("closed handle was returned from the cache")
+	}
+	resumed := make([]uint64, 512)
+	if err := sub2.Fill(resumed); err != nil {
+		t.Fatal(err)
+	}
+	// The resumed draw continues the tenant stream at a block
+	// boundary past what the first handle drained (its ring may have
+	// prefetched ahead). Find it in the control stream.
+	want := subControl(t, cfg, "resume-me", 8192)
+	off := -1
+	for o := 512; o+512 <= len(want); o += 512 {
+		if want[o] == resumed[0] {
+			off = o
+			break
+		}
+	}
+	if off < 0 {
+		t.Fatal("resumed draw does not continue the tenant stream")
+	}
+	for i := range resumed {
+		if resumed[i] != want[off+i] {
+			t.Fatalf("resumed word %d = %#x, want %#x (offset %d)", i, resumed[i], want[off+i], off)
+		}
+	}
+
+	// Root Close takes the surviving handle down with it.
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sub2.Uint64(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("draw on handle after root close = %v, want ErrClosed", err)
+	}
+	if _, err := cl.Substream("resume-me"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Substream after root close = %v, want ErrClosed", err)
+	}
+}
+
+// TestSubstreamShedDoesNotPoisonEndpoint: a tenant that exhausts its
+// token bucket gets 429s on its keyed path — that must pause only
+// that tenant's refill, never mark the shared endpoint unhealthy,
+// or one noisy tenant would starve the whole process of pool bytes.
+func TestSubstreamShedDoesNotPoisonEndpoint(t *testing.T) {
+	_, ts := newSubstreamServer(t, substream.Config{
+		RootSeed:   5,
+		RatePerSec: 0.001, // effectively never refills within the test
+		Burst:      16,    // exactly one 16-word block
+	})
+	cl := newTestClient(t, Options{
+		Endpoints:     []string{ts.URL},
+		BlockWords:    16,
+		MinBlockWords: 16,
+		MaxBlockWords: 16,
+		BackoffBase:   5 * time.Millisecond,
+	})
+
+	sub, err := cl.Substream("greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first 16-word block fits the burst; drain it.
+	got := make([]uint64, 16)
+	if err := sub.Fill(got); err != nil {
+		t.Fatal(err)
+	}
+	// The handle's refill is now being shed. Wait until it has
+	// observed at least one 429.
+	deadline := time.Now().Add(5 * time.Second)
+	for sub.Stats().Sheds429 == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("substream refill never observed a 429")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Meanwhile the shared pool path must still serve instantly: the
+	// endpoint was never marked failed by the tenant's sheds.
+	words := make([]uint64, 1024)
+	if err := cl.Fill(words); err != nil {
+		t.Fatalf("root draw while tenant is shed: %v", err)
+	}
+	for _, epStat := range cl.Stats().Endpoints {
+		if !epStat.Healthy {
+			t.Fatalf("endpoint %s marked unhealthy by a per-tenant shed", epStat.URL)
+		}
+	}
+}

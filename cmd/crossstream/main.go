@@ -1,27 +1,37 @@
 // Command crossstream runs the cross-stream quality battery
 // (internal/crossstream) against the real serving surfaces — the
-// workers of a Parallel and/or the shards of a Pool — and emits a
-// JSON verdict suitable for CI artifacts and the committed
-// BENCH_quality.json trajectory. The process exits non-zero when any
-// check fails, so a scheduled battery run fails its job on a real
-// finding.
+// workers of a Parallel, the shards of a Pool, and the per-tenant
+// substreams a keyed registry derives from adversarial key sets —
+// and emits a JSON verdict suitable for CI artifacts. The process
+// exits non-zero when any check fails, so a scheduled battery run
+// fails its job on a real finding.
+//
+// With -benchtext the per-source verdicts are also written to stdout
+// as `go test -bench`-style result lines, the input format
+// cmd/benchseed understands — that is how the committed
+// BENCH_quality.json trajectory is maintained:
+//
+//	crossstream -benchtext | benchseed -out BENCH_quality.json -merge
 //
 // Usage:
 //
-//	crossstream [-source parallel|pool|both] [-streams N] [-seed N]
-//	            [-long] [-out file.json] [-v]
+//	crossstream [-source parallel|pool|substream|both|all] [-streams N]
+//	            [-seed N] [-long] [-out file.json] [-benchtext] [-v]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	hybridprng "repro"
 	"repro/internal/crossstream"
 	"repro/internal/rng"
+	"repro/internal/substream"
 )
 
 // verdict is the emitted artifact: one report per stream source plus
@@ -89,6 +99,87 @@ func poolSources(shards int, seed uint64) ([]rng.Source, error) {
 	return srcs, nil
 }
 
+// adversarialKeys mirrors the root package's battery key builder:
+// sequential user IDs, a long shared prefix, and single-bit-differing
+// groups ('@' XOR one bit stays printable) — the key structure a
+// tenant namespace actually produces and the derivation must erase.
+func adversarialKeys(n int) []string {
+	keys := make([]string, 0, n)
+	half, quarter := n/2, n/4
+	for i := 0; len(keys) < half; i++ {
+		keys = append(keys, fmt.Sprintf("user-%04d", i+1))
+	}
+	for i := 0; len(keys) < half+quarter; i++ {
+		keys = append(keys, fmt.Sprintf("tenant/eu-west-1/svc-%03d", i))
+	}
+	bits := []byte{0, 1, 2, 4, 8, 16, 32}
+	for g := 0; len(keys) < n; g++ {
+		for _, b := range bits {
+			if len(keys) == n {
+				break
+			}
+			keys = append(keys, fmt.Sprintf("bit-%03d-%c", g, '@'^b))
+		}
+	}
+	return keys
+}
+
+// subSource adapts one tenant's registry stream to rng.Source.
+type subSource struct {
+	reg *substream.Registry
+	key string
+	buf []uint64
+	idx int
+}
+
+func (s *subSource) Uint64() uint64 {
+	if s.idx == len(s.buf) {
+		if err := s.reg.Fill(s.key, s.buf); err != nil {
+			fmt.Fprintf(os.Stderr, "crossstream: substream %q: %v\n", s.key, err)
+			os.Exit(1)
+		}
+		s.idx = 0
+	}
+	v := s.buf[s.idx]
+	s.idx++
+	return v
+}
+
+func substreamSet(n int, rootSeed uint64) (crossstream.StreamSet, error) {
+	reg, err := substream.New(substream.Config{RootSeed: rootSeed, MaxResident: n})
+	if err != nil {
+		return crossstream.StreamSet{}, err
+	}
+	keys := adversarialKeys(n)
+	srcs := make([]rng.Source, n)
+	for i, k := range keys {
+		srcs[i] = &subSource{reg: reg, key: k, buf: make([]uint64, 256), idx: 256}
+	}
+	return crossstream.StreamSet{Name: "substream", Names: keys, Sources: srcs}, nil
+}
+
+// keyAvalanche maps the nearby-seed avalanche check onto sequential
+// tenant keys: user-0001 vs user-0002 must avalanche like adjacent
+// numeric seeds do.
+func keyAvalanche(rootSeed uint64, seeds, words int) *crossstream.AvalancheConfig {
+	return &crossstream.AvalancheConfig{
+		Stream: func(seed uint64, words int) ([]uint64, error) {
+			reg, err := substream.New(substream.Config{RootSeed: rootSeed})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]uint64, words)
+			if err := reg.Fill(fmt.Sprintf("user-%04d", seed), out); err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+		BaseSeed: 1,
+		Seeds:    seeds,
+		Words:    words,
+	}
+}
+
 func avalanche(baseSeed uint64, seeds, words int) *crossstream.AvalancheConfig {
 	return &crossstream.AvalancheConfig{
 		Stream: func(seed uint64, words int) ([]uint64, error) {
@@ -106,12 +197,35 @@ func avalanche(baseSeed uint64, seeds, words int) *crossstream.AvalancheConfig {
 	}
 }
 
+// writeBenchText renders the verdict as `go test -bench`-style result
+// lines — the input format cmd/benchseed parses — so the quality
+// trajectory rides the same merge/history machinery as the perf
+// trajectories. One line per stream source; the metrics are counts
+// plus the smallest decision p-value across the source's checks (the
+// scalar to watch drift on PR over PR).
+func writeBenchText(w io.Writer, v *verdict) {
+	fmt.Fprintf(w, "goos: %s\n", runtime.GOOS)
+	fmt.Fprintf(w, "goarch: %s\n", runtime.GOARCH)
+	fmt.Fprintf(w, "pkg: repro/cmd/crossstream\n")
+	for _, r := range v.Reports {
+		minP := 1.0
+		for _, c := range r.Checks {
+			if c.P > 0 && c.P < minP {
+				minP = c.P
+			}
+		}
+		fmt.Fprintf(w, "BenchmarkQuality/%s 1 %d streams %d checks %d passed %d findings %.6g min-p\n",
+			r.Name, r.Streams, r.Total, r.Passed, len(r.Findings), minP)
+	}
+}
+
 func main() {
-	source := flag.String("source", "both", "stream source: parallel, pool or both")
+	source := flag.String("source", "all", "stream source: parallel, pool, substream, both (parallel+pool) or all")
 	streams := flag.Int("streams", 0, "streams per source (default 256, or 2048 with -long; power of two for pool)")
 	seed := flag.Uint64("seed", 20120521, "ensemble seed")
 	long := flag.Bool("long", false, "run the long profile (more streams, longer prefixes, scaled batteries)")
-	out := flag.String("out", "", "write the JSON verdict to this file (default stdout)")
+	out := flag.String("out", "", "write the JSON verdict to this file (default stdout, unless -benchtext)")
+	benchtext := flag.Bool("benchtext", false, "write go-test-bench-style verdict lines to stdout for cmd/benchseed")
 	verbose := flag.Bool("v", false, "print every check")
 	flag.Parse()
 
@@ -128,9 +242,10 @@ func main() {
 	}
 
 	v := &verdict{Profile: cfg.Profile, Seed: *seed, Streams: n, WallMS: map[string]int64{}}
-	runSet := func(name string, srcs []rng.Source, c crossstream.Config) {
+	runSet := func(set crossstream.StreamSet, c crossstream.Config) {
+		name := set.Name
 		start := time.Now()
-		r, err := crossstream.Run(crossstream.FromSources(name, srcs), c)
+		r, err := crossstream.Run(set, c)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crossstream: %s: %v\n", name, err)
 			os.Exit(1)
@@ -152,7 +267,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%s (%d ms)\n", r.String(), v.WallMS[name])
 	}
 
-	if *source == "parallel" || *source == "both" {
+	if *source == "parallel" || *source == "both" || *source == "all" {
 		srcs, err := parallelSources(n, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crossstream: %v\n", err)
@@ -160,21 +275,34 @@ func main() {
 		}
 		c := cfg
 		c.Avalanche = avalanche(*seed, avSeeds, avWords)
-		runSet("parallel", srcs, c)
+		runSet(crossstream.FromSources("parallel", srcs), c)
 	}
-	if *source == "pool" || *source == "both" {
+	if *source == "pool" || *source == "both" || *source == "all" {
 		srcs, err := poolSources(n, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "crossstream: %v\n", err)
 			os.Exit(1)
 		}
-		runSet("pool", srcs, cfg)
+		runSet(crossstream.FromSources("pool", srcs), cfg)
+	}
+	if *source == "substream" || *source == "all" {
+		set, err := substreamSet(n, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "crossstream: %v\n", err)
+			os.Exit(1)
+		}
+		c := cfg
+		c.Avalanche = keyAvalanche(*seed, avSeeds, avWords)
+		runSet(set, c)
 	}
 	if v.Total == 0 {
 		fmt.Fprintf(os.Stderr, "crossstream: unknown source %q\n", *source)
 		os.Exit(1)
 	}
 
+	if *benchtext {
+		writeBenchText(os.Stdout, v)
+	}
 	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "crossstream: %v\n", err)
@@ -182,7 +310,9 @@ func main() {
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
+		if !*benchtext {
+			os.Stdout.Write(enc)
+		}
 	} else if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "crossstream: %v\n", err)
 		os.Exit(1)

@@ -27,6 +27,17 @@
 // generator flags (-shards, -buffer, -feed, -seed, -walk, -hmin) are
 // ignored — the snapshot already pins all of them.
 //
+// With -substream-max > 0 (the default), randd also serves per-tenant
+// streams: GET /v1/stream/{key}/u64 and /bytes draw from a walker
+// derived from the key — reproducible per tenant, independent across
+// tenants — with at most -substream-max walkers resident (LRU; evicted
+// tenants park their exact state and resume bitwise). -tenant-rate
+// caps each tenant's draw rate in words/s via a token bucket (429 +
+// Retry-After past the budget; 0 = unmetered). Tenant streams ride
+// along in -state snapshots and drain handoffs, so they resume exactly
+// like the pool's. The derivation root comes from -seed when -seeded,
+// OS entropy otherwise; a restored state file pins it.
+//
 // The -chaos flag wraps every shard's feed in a deterministic fault
 // injector (internal/chaos) for recovery drills: shards trip,
 // quarantine, reseed and recover while the daemon keeps serving.
@@ -62,9 +73,11 @@ import (
 	"time"
 
 	hybridprng "repro"
+	"repro/internal/bitsource"
 	"repro/internal/chaos"
 	"repro/internal/fleet"
 	"repro/internal/server"
+	"repro/internal/substream"
 )
 
 func main() {
@@ -89,6 +102,8 @@ func run() int {
 		state      = flag.String("state", "", "checkpoint file: restored on boot when present, written on shutdown and by POST /snapshot (empty disables)")
 		chaosSeed  = flag.Uint64("chaos", 0, "enable the deterministic fault injector with this schedule seed (dev only; incompatible with -state)")
 		chaosKinds = flag.String("chaos-kinds", "all", "comma-separated chaos fault kinds: stuck, bias, burst, stall (with -chaos)")
+		subMax     = flag.Int("substream-max", 1024, "resident per-tenant walker cap for /v1/stream/{key} (LRU past the cap; 0 disables the per-tenant routes)")
+		tenantRate = flag.Float64("tenant-rate", 0, "per-tenant draw budget in words/s, enforced with 429 + Retry-After (0 = unmetered; with -substream-max)")
 		control    = flag.String("control", "", "randctl base URL: register with this fleet controller and heartbeat pool health (empty = standalone)")
 		nodeID     = flag.String("node-id", "", "fleet node ID (with -control; default: the hostname)")
 		advertise  = flag.String("advertise", "", "base URL other hosts reach this node at (with -control; default derived from -addr)")
@@ -102,11 +117,16 @@ func run() int {
 		return 2
 	}
 
-	pool, restored, err := buildPool(poolFlags{
+	pool, regBlob, restored, err := buildPool(poolFlags{
 		state: *state, shards: *shards, buffer: *buffer, feed: *feed,
 		seed: *seed, seeded: *seeded, walk: *walk, hmin: *hmin,
 		chaosSeed: *chaosSeed, chaosKinds: *chaosKinds,
 	})
+	if err != nil {
+		log.Printf("randd: %v", err)
+		return 1
+	}
+	reg, err := buildRegistry(regBlob, *subMax, *tenantRate, *feed, *walk, *hmin, *seed, *seeded)
 	if err != nil {
 		log.Printf("randd: %v", err)
 		return 1
@@ -117,6 +137,7 @@ func run() int {
 		MaxInFlight:        *inFlight,
 		RequestTimeout:     *reqTimeout,
 		StreamWriteTimeout: *streamWT,
+		Substreams:         reg,
 	})
 	if err != nil {
 		log.Printf("randd: %v", err)
@@ -282,23 +303,29 @@ type poolFlags struct {
 	chaosKinds string
 }
 
-// buildPool restores the pool from the state file when it exists,
-// otherwise constructs a fresh one from the generator flags.
-func buildPool(f poolFlags) (*hybridprng.Pool, bool, error) {
+// buildPool restores the pool (and, for substream-enabled snapshots,
+// the registry blob riding in the node state container) from the
+// state file when it exists, otherwise constructs a fresh pool from
+// the generator flags.
+func buildPool(f poolFlags) (*hybridprng.Pool, []byte, bool, error) {
 	if f.state != "" {
 		blob, err := os.ReadFile(f.state)
 		switch {
 		case err == nil:
+			poolBlob, regBlob, err := server.DecodeNodeState(blob)
+			if err != nil {
+				return nil, nil, false, fmt.Errorf("restore %s: %w", f.state, err)
+			}
 			pool := new(hybridprng.Pool)
-			if err := pool.UnmarshalBinary(blob); err != nil {
-				return nil, false, fmt.Errorf("restore %s: %w", f.state, err)
+			if err := pool.UnmarshalBinary(poolBlob); err != nil {
+				return nil, nil, false, fmt.Errorf("restore %s: %w", f.state, err)
 			}
 			log.Printf("randd: restored %d shards from %s (%d bytes); generator flags ignored", pool.Shards(), f.state, len(blob))
-			return pool, true, nil
+			return pool, regBlob, true, nil
 		case os.IsNotExist(err):
 			log.Printf("randd: no state file at %s, starting fresh", f.state)
 		default:
-			return nil, false, fmt.Errorf("read %s: %w", f.state, err)
+			return nil, nil, false, fmt.Errorf("read %s: %w", f.state, err)
 		}
 	}
 	opts := []hybridprng.Option{hybridprng.WithFeed(f.feed)}
@@ -320,7 +347,7 @@ func buildPool(f poolFlags) (*hybridprng.Pool, bool, error) {
 	if f.chaosSeed != 0 {
 		kinds, err := chaos.ParseKinds(f.chaosKinds)
 		if err != nil {
-			return nil, false, err
+			return nil, nil, false, err
 		}
 		opts = append(opts, hybridprng.WithFeedWrapper(chaos.Wrapper(chaos.Config{
 			Seed:  f.chaosSeed,
@@ -329,7 +356,50 @@ func buildPool(f poolFlags) (*hybridprng.Pool, bool, error) {
 	}
 	pool, err := hybridprng.NewPool(opts...)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
-	return pool, false, nil
+	return pool, nil, false, nil
+}
+
+// buildRegistry assembles the per-tenant substream registry: restored
+// from the snapshot's registry blob when one rode along, otherwise
+// fresh with a root seed from -seed (when -seeded) or OS entropy. The
+// runtime knobs (-substream-max, -tenant-rate) always come from the
+// flags — they shape this node's serving, not the streams themselves.
+func buildRegistry(regBlob []byte, subMax int, tenantRate float64, feed string, walk int, hmin float64, seed uint64, seeded bool) (*substream.Registry, error) {
+	if subMax <= 0 {
+		if regBlob != nil {
+			// The snapshot carries tenant streams this boot refuses to
+			// serve; dropping them silently would strand every tenant's
+			// reproducibility, so refuse loudly instead.
+			return nil, fmt.Errorf("state file carries substream state but -substream-max is 0; re-enable substreams or move the state file aside")
+		}
+		return nil, nil
+	}
+	cfg := substream.Config{
+		MaxResident: subMax,
+		RatePerSec:  tenantRate,
+	}
+	if regBlob != nil {
+		reg, err := substream.Restore(regBlob, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("restore substream registry: %w", err)
+		}
+		s := reg.Stats()
+		log.Printf("randd: restored %d tenant streams", s.Tenants)
+		return reg, nil
+	}
+	cfg.Feed = feed
+	cfg.WalkLen = walk
+	cfg.HealthHMin = hmin
+	if seeded {
+		cfg.RootSeed = seed
+	} else {
+		cfg.RootSeed = bitsource.CryptoSeed()
+	}
+	reg, err := substream.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return reg, nil
 }

@@ -1,0 +1,189 @@
+package hybridprng_test
+
+// Cross-stream battery over derived per-tenant substreams: the
+// ensemble is ≥256 streams created purely from string keys through
+// the registry's collision-audited derivation, with the key sets an
+// adversary (or an unlucky naming convention) would produce —
+// sequential user IDs, long shared prefixes, and keys differing in a
+// single bit. Shoverand's safe-partitioning requirement is that none
+// of this structure may survive into the streams; the battery is the
+// empirical check.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/crossstream"
+	"repro/internal/rng"
+	"repro/internal/substream"
+)
+
+// adversarialKeys builds n distinct tenant keys in three hostile
+// families: sequential ("user-0001", "user-0002", …), shared-prefix
+// ("tenant/eu-west-1/svc-007", …) and single-bit-differing groups
+// (each group shares a prefix and ends in '@' XOR one bit, so the
+// group's keys are Hamming distance 1–2 apart as byte strings).
+func adversarialKeys(n int) []string {
+	keys := make([]string, 0, n)
+	half := n / 2
+	quarter := n / 4
+	for i := 0; len(keys) < half; i++ {
+		keys = append(keys, fmt.Sprintf("user-%04d", i+1))
+	}
+	for i := 0; len(keys) < half+quarter; i++ {
+		keys = append(keys, fmt.Sprintf("tenant/eu-west-1/svc-%03d", i))
+	}
+	// Single-bit flips of '@' (0x40) stay printable: A B D H P `.
+	bits := []byte{0, 1, 2, 4, 8, 16, 32}
+	for g := 0; len(keys) < n; g++ {
+		for _, b := range bits {
+			if len(keys) == n {
+				break
+			}
+			keys = append(keys, fmt.Sprintf("bit-%03d-%c", g, '@'^b))
+		}
+	}
+	return keys
+}
+
+// subSource adapts one tenant's registry stream to rng.Source,
+// buffering a block per Fill like serving traffic does.
+type subSource struct {
+	t   *testing.T
+	reg *substream.Registry
+	key string
+	buf []uint64
+	idx int
+}
+
+func newSubSource(t *testing.T, reg *substream.Registry, key string, buf int) *subSource {
+	return &subSource{t: t, reg: reg, key: key, buf: make([]uint64, buf), idx: buf}
+}
+
+func (s *subSource) Uint64() uint64 {
+	if s.idx == len(s.buf) {
+		if err := s.reg.Fill(s.key, s.buf); err != nil {
+			s.t.Fatalf("substream %q: %v", s.key, err)
+		}
+		s.idx = 0
+	}
+	v := s.buf[s.idx]
+	s.idx++
+	return v
+}
+
+// substreamSet derives one battery stream per adversarial key from a
+// single registry. maxResident 0 means "all resident" (no churn).
+func substreamSet(t *testing.T, n int, rootSeed uint64, maxResident, buf int) crossstream.StreamSet {
+	t.Helper()
+	if maxResident == 0 {
+		maxResident = n
+	}
+	reg, err := substream.New(substream.Config{RootSeed: rootSeed, MaxResident: maxResident})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := adversarialKeys(n)
+	srcs := make([]rng.Source, n)
+	for i, k := range keys {
+		srcs[i] = newSubSource(t, reg, k, buf)
+	}
+	return crossstream.StreamSet{Name: "substream", Names: keys, Sources: srcs}
+}
+
+// keyAvalanche is the keyed-derivation analogue of the nearby-seed
+// avalanche check: "adjacent seeds" become sequential tenant keys
+// ("user-0001" vs "user-0002"), and the first outputs of the derived
+// streams must still differ in ~50% of bits — sequential key spelling
+// must not leak into the streams.
+func keyAvalanche(rootSeed uint64, seeds, words int) *crossstream.AvalancheConfig {
+	return &crossstream.AvalancheConfig{
+		Stream: func(seed uint64, words int) ([]uint64, error) {
+			reg, err := substream.New(substream.Config{RootSeed: rootSeed})
+			if err != nil {
+				return nil, err
+			}
+			out := make([]uint64, words)
+			if err := reg.Fill(fmt.Sprintf("user-%04d", seed), out); err != nil {
+				return nil, err
+			}
+			return out, nil
+		},
+		BaseSeed: 1,
+		Seeds:    seeds,
+		Words:    words,
+	}
+}
+
+// TestCrossStreamSubstreamShort is the per-PR battery over 256
+// derived substreams under the adversarial key families, at the
+// short profile's false-alarm budget — the ISSUE 9 acceptance run.
+func TestCrossStreamSubstreamShort(t *testing.T) {
+	cfg := crossstream.ShortProfile()
+	cfg.Avalanche = keyAvalanche(12345, 48, 16)
+	set := substreamSet(t, 256, 12345, 0, 256)
+	r, err := crossstream.Run(set, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Streams < 256 {
+		t.Fatalf("substream battery covered %d streams, want ≥ 256", r.Streams)
+	}
+	requireClean(t, r, 8)
+}
+
+// TestCrossStreamSubstreamLong scales the keyed ensemble to 2048
+// tenants with the sampled-pair long profile.
+func TestCrossStreamSubstreamLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("thousands-of-streams battery run")
+	}
+	cfg := crossstream.LongProfile()
+	cfg.Avalanche = keyAvalanche(12345, 128, 32)
+	r, err := crossstream.Run(substreamSet(t, 2048, 12345, 0, 256), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, r, 8)
+}
+
+// TestCrossStreamSubstreamEvictionChurn caps the registry far below
+// the stream count, so the battery's draws continually evict, park
+// and unpark tenants mid-run. The streams must be bitwise identical
+// to an uninterrupted all-resident run — eviction is checkpointing,
+// not perturbation — and the ensemble must still pass the prefix
+// checks.
+func TestCrossStreamSubstreamEvictionChurn(t *testing.T) {
+	const n, prefix = 64, 256
+	churned := substreamSet(t, n, 777, 4, 32) // 4 resident across 64 tenants, tiny refills
+	control := substreamSet(t, n, 777, 0, 32)
+	words := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		words[i] = make([]uint64, prefix)
+		ctl := make([]uint64, prefix)
+		for j := 0; j < prefix; j++ {
+			words[i][j] = churned.Sources[i].Uint64()
+			ctl[j] = control.Sources[i].Uint64()
+		}
+		for j := range ctl {
+			if words[i][j] != ctl[j] {
+				t.Fatalf("tenant %q diverged under eviction churn at word %d", churned.Names[i], j)
+			}
+		}
+	}
+
+	cfg := crossstream.ShortProfile()
+	cfg.Prefix = prefix
+	cfg.CorrWords = 192
+	cfg.DiehardScale = 0
+	cfg.SmallCrush = false
+	srcs := make([]rng.Source, n)
+	for i := range srcs {
+		srcs[i] = &replaySource{words: words[i]}
+	}
+	r, err := crossstream.Run(crossstream.StreamSet{Name: "churn", Names: churned.Names, Sources: srcs}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClean(t, r, 4)
+}

@@ -7,6 +7,10 @@
 //	GET  /bytes?n=N  N random octets, application/octet-stream
 //	GET  /stream     endless little-endian uint64 stream until the
 //	                 client hangs up (or ?words=N words)
+//	GET  /v1/stream/{key}/u64?n=N    the tenant key's own stream,
+//	                 decimal uint64s (requires Options.Substreams)
+//	GET  /v1/stream/{key}/bytes?n=N  the tenant key's own stream,
+//	                 random octets (requires Options.Substreams)
 //	GET  /healthz    200 "ok" while every shard is healthy; 200
 //	                 "degraded" while some shards are recovering but
 //	                 the pool still serves; 503 "unhealthy" when no
@@ -105,6 +109,7 @@ import (
 	"time"
 
 	hybridprng "repro"
+	"repro/internal/substream"
 	"repro/internal/wordbytes"
 )
 
@@ -178,6 +183,7 @@ func (c *chunk) encode(n int) {
 // not usable.
 type Server struct {
 	pool        *hybridprng.Pool
+	sub         *substream.Registry // nil: per-tenant routes disabled
 	maxWords    uint64
 	statePath   string
 	mux         *http.ServeMux
@@ -231,6 +237,14 @@ type Options struct {
 	// before aborting and returning the node to service. 0 means
 	// DefaultDrainWait.
 	DrainWait time.Duration
+	// Substreams, when non-nil, enables the per-tenant routes
+	// (/v1/stream/{key}/u64 and /bytes): each key draws from its own
+	// derived walker stream, rate-limited and metered per tenant, and
+	// the registry state rides along in snapshots and drain blobs so
+	// tenant streams survive restarts and handoffs. Nil (the default)
+	// leaves the routes unregistered and the state blob format
+	// unchanged.
+	Substreams *substream.Registry
 }
 
 // New builds a Server over pool.
@@ -260,6 +274,7 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	}
 	s := &Server{
 		pool:        pool,
+		sub:         opts.Substreams,
 		maxWords:    maxWords,
 		statePath:   opts.StatePath,
 		maxInFlight: maxInFlight,
@@ -296,6 +311,9 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 		return time.Since(time.UnixMilli(last)).Seconds() //lint:wallclock snapshot age is an operator-facing wall-clock metric
 	}))
 	m.Set("pool", expvar.Func(func() any { return pool.Stats() }))
+	if s.sub != nil {
+		m.Set("substreams", expvar.Func(func() any { return s.sub.Stats() }))
+	}
 	s.metrics = m
 
 	// Draw endpoints carry the full chain; the probe and admin
@@ -310,6 +328,10 @@ func New(pool *hybridprng.Pool, opts Options) (*Server, error) {
 	mux.Handle("/snapshot", s.protect(http.HandlerFunc(s.serveSnapshot)))
 	mux.Handle("/drain", s.protect(http.HandlerFunc(s.serveDrain)))
 	mux.Handle("/undrain", s.protect(http.HandlerFunc(s.serveUndrain)))
+	if s.sub != nil {
+		mux.Handle("/v1/stream/{key}/u64", s.protect(s.shed(s.deadline(http.HandlerFunc(s.serveSubU64)))))
+		mux.Handle("/v1/stream/{key}/bytes", s.protect(s.shed(s.deadline(http.HandlerFunc(s.serveSubBytes)))))
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -409,7 +431,7 @@ func (s *Server) Snapshot() (int, error) {
 	}
 	s.snapMu.Lock()
 	defer s.snapMu.Unlock()
-	blob, err := s.pool.MarshalBinary()
+	blob, err := s.nodeState()
 	if err != nil {
 		return 0, fmt.Errorf("server: checkpoint pool: %w", err)
 	}
@@ -507,7 +529,7 @@ func (s *Server) serveDrain(w http.ResponseWriter, r *http.Request) {
 	// running (inFlight == 0). Snapshot-writers are serialised too so
 	// a concurrent POST /snapshot cannot observe a half-read state.
 	s.snapMu.Lock()
-	blob, err := s.pool.MarshalBinary()
+	blob, err := s.nodeState()
 	s.snapMu.Unlock()
 	if err != nil {
 		s.draining.Store(false)

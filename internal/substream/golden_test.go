@@ -1,0 +1,106 @@
+package substream
+
+import (
+	"testing"
+
+	hybridprng "repro"
+)
+
+// goldenRootSeed matches the root package's golden seed so the two
+// vector sets document the same configuration point.
+const goldenRootSeed = 12345
+
+// goldenKeys pins the first 16 outputs of 8 fixed keys under root
+// seed 12345 with the default configuration (glibc feed, paper walk
+// lengths). These vectors define the keyed derivation: any change to
+// Canonical, DeriveSeed, the init walk or the walk itself shows up
+// here as a hard failure instead of silently re-keying every tenant.
+var goldenKeys = map[string][16]uint64{
+	"alice": {
+		0x03f22800794dedcb, 0x319ac091b0b545a0, 0x0669979cd58d0717, 0x7f455e7dd41b9833,
+		0xa5ee82e591c5136b, 0x40680857d80defd0, 0x1ec33a95ffe88f3e, 0x3f60794812dff9e4,
+		0x1eb39c80c7da77ef, 0x110cbdf85f5f3dfa, 0xbf222964c2aadb76, 0x10953c2e60017c9d,
+		0x27878af4c8f02dc7, 0x0f8c0a3cfb70ee4b, 0xaaf23739be0dd95b, 0x256a407617a0b633,
+	},
+	"bob": {
+		0xd471aee684274def, 0x9b1f8751dc0c465e, 0x72cdc5fc37237d59, 0x6d84bf74dcb82239,
+		0x54877461c693820a, 0xf70a0a81cb6318f8, 0x82598806a0ef5d98, 0x2f466e5770172dc9,
+		0xaa6a8acbebf362a5, 0x5f36bc6ef4ce4020, 0x2b7ddd51edffc469, 0xdeb93bb1623b20d1,
+		0xd371c614fd8ccb8b, 0x4c81c4282f59cd91, 0x31823fd9e619a81c, 0x3c4b872fa8256e9f,
+	},
+	"user-0001": {
+		0xbe61aea60d7ca805, 0xdb40033dc6a88122, 0x9ddf787564ebecc9, 0xc819d36ce17144c1,
+		0x2a6c42e7e7a84da6, 0xa9305755a405895d, 0xa7fda454dfcff0ac, 0x4fc902817d3a6e32,
+		0x24bc0d43a9ef1464, 0x4aa010f4c55a17c6, 0x47f58cf550cb8d49, 0x205de215172726ad,
+		0xdcab2317a92f1fc6, 0xbc8ec335caf8cf60, 0xdd7700a84d990a6c, 0x7c0eb7457ac49d6b,
+	},
+	"user-0002": {
+		0xaa165f670e7e2654, 0xa1a80e3dd7201f39, 0xc7e6a9f7c59ce612, 0xf87150ceefa37821,
+		0xcd242c77b0fac8ea, 0x0c1ce787a070a33a, 0xee5e8ff37b401b14, 0xb037d1a72af92081,
+		0x5d8182b5a6bee682, 0x0b06753bacb297cd, 0xf55ac4281be47103, 0x6d57d876604d5a51,
+		0xb23bfe0f7a86378c, 0xaac0a6c2632d25fa, 0xa35d81b667d9d52c, 0xfe162ca8fdd58f01,
+	},
+	"tenant/eu-west-1": {
+		0x7451022ff08bb880, 0x121d56500fb3abfe, 0x622076c625c7dd6d, 0x1fdb2f90f0281b93,
+		0xe528ffe555b2384b, 0x16fcad1e4f419d6e, 0x7c42f31601b307ed, 0xd15c25fd5644adf7,
+		0xb901652e27d32477, 0x70331357f5cdd83b, 0x6a3992b2e44bcceb, 0x49a5afbe680f62ee,
+		0x317e4099f050cd68, 0x14adbfacedead914, 0xd44d594642613223, 0xdb3011e0b98d08cb,
+	},
+	"tenant/eu-west-2": {
+		0x74f5c2b41c6cefb6, 0x88180bc51d1d728f, 0x0a87a37919770c09, 0xcaaccc74477e4466,
+		0x183e44666baeb0d8, 0x63ea9a5fff08f520, 0x9a91e26d9e7d4da1, 0x479a07b512c76373,
+		0x50e58fdd52ab05b3, 0x25591aa97ba7ce8c, 0x72a690ea1c3c3bed, 0xd325156856695aef,
+		0x2108538ea9f21e04, 0xdf6d313d494dad68, 0x5f69b6d01a38b7ac, 0xdd36d727a15412b7,
+	},
+	"τ-κλειδί": {
+		0x9614cec90428baca, 0x49d924e7f4da2253, 0x0877d3de5b07c5e7, 0x9afa996a9efa9423,
+		0x6f5c84ffa3d72b36, 0x9185257b9a4d1003, 0x99a52662d2a06015, 0xc210a9611f700f85,
+		0x9e670be3b328b399, 0xf0e99139b0d4b8c6, 0xb75c7d4961855b3b, 0x1c4cb734b19b2a1d,
+		0xc7180db66f69c6fc, 0x97348ce6e3b1bdf9, 0x0f3eb20b75db865e, 0x0af29c9083df3dfc,
+	},
+	"z": {
+		0x5598fc13773aad48, 0x9dbdbe49231fce85, 0x63fe7d07560e9536, 0x6d1e198d759b201d,
+		0x6e7d43e574ca3c97, 0x9ed0ea0f7a0d3b69, 0x1095cc0f1609adba, 0x9fd4d5c958c08746,
+		0x731272ee5a6d794e, 0x9dc6b85a8b08d578, 0xe4e51ace9650b144, 0x8654fb2548e27bec,
+		0xcb1e2061caa33274, 0x0a3e0b640bab7fbc, 0x5a217068b3de344b, 0x517e260fa5164625,
+	},
+}
+
+func TestGoldenSubstreams(t *testing.T) {
+	r, err := New(Config{RootSeed: goldenRootSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range goldenKeys {
+		for i, w := range want {
+			got, err := r.Uint64(key)
+			if err != nil {
+				t.Fatalf("key %q draw %d: %v", key, i, err)
+			}
+			if got != w {
+				t.Fatalf("key %q output %d = %#016x, want %#016x", key, i, got, w)
+			}
+		}
+	}
+}
+
+// TestGoldenMatchesDirectDerivation pins the equivalence the whole
+// design rests on: the registry path (canonicalize, derive, full
+// init walk) produces exactly the stream of a bare Generator built
+// with the derived seed. If the registry ever inserts hidden state
+// between derivation and the walk, per-tenant reproducibility — the
+// "rerun my simulation" use case — quietly dies; this test makes it
+// loud.
+func TestGoldenMatchesDirectDerivation(t *testing.T) {
+	for key, want := range goldenKeys {
+		g, err := hybridprng.New(hybridprng.WithSeed(DeriveSeed(goldenRootSeed, key)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range want {
+			if got := g.Uint64(); got != w {
+				t.Fatalf("key %q direct output %d = %#016x, want %#016x", key, i, got, w)
+			}
+		}
+	}
+}

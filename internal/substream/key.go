@@ -1,0 +1,66 @@
+// Package substream derives per-tenant walker streams from string
+// keys. Each key owns one independent expander walk — derived from
+// the registry root seed and the canonicalized key through a
+// collision-audited hash, initialised with the full Algorithm 1 init
+// walk — so tenants get reproducible, statistically independent
+// streams without pre-partitioning the seed space by hand. This is
+// the safe-partitioning discipline Shoverand formalises: no two
+// tenants may alias, and every stream must be individually
+// recoverable, which the registry state blob (state.go) makes
+// durable across restarts and drains.
+package substream
+
+import (
+	"fmt"
+	"unicode/utf8"
+)
+
+// MaxKeyBytes bounds a canonical key. 128 bytes comfortably holds a
+// UUID, an email address or a session token while keeping the
+// registry blob and the per-request canonicalization cost small.
+const MaxKeyBytes = 128
+
+// KeyError reports a key rejected by Canonical. It is a typed error
+// so the serving layer can map it to a 400 instead of a 500.
+type KeyError struct {
+	Key    string // the offending key, as submitted
+	Reason string
+}
+
+func (e *KeyError) Error() string {
+	return fmt.Sprintf("substream: invalid key %q: %s", e.Key, e.Reason)
+}
+
+// Canonical normalises a tenant key and validates it. Leading and
+// trailing ASCII spaces and tabs are stripped — transport layers
+// (headers, query strings, config files) routinely add them, and two
+// spellings of the same tenant must never derive two streams. After
+// trimming, the key must be non-empty, at most MaxKeyBytes bytes,
+// valid UTF-8 and free of control characters; anything else is a
+// *KeyError. Canonical is idempotent: Canonical(Canonical(k))
+// returns Canonical(k).
+func Canonical(key string) (string, error) {
+	start, end := 0, len(key)
+	for start < end && (key[start] == ' ' || key[start] == '\t') {
+		start++
+	}
+	for end > start && (key[end-1] == ' ' || key[end-1] == '\t') {
+		end--
+	}
+	k := key[start:end]
+	if len(k) == 0 {
+		return "", &KeyError{Key: key, Reason: "empty after trimming"}
+	}
+	if len(k) > MaxKeyBytes {
+		return "", &KeyError{Key: key, Reason: fmt.Sprintf("%d bytes exceeds the %d-byte limit", len(k), MaxKeyBytes)}
+	}
+	if !utf8.ValidString(k) {
+		return "", &KeyError{Key: key, Reason: "not valid UTF-8"}
+	}
+	for _, r := range k {
+		if r < 0x20 || r == 0x7f {
+			return "", &KeyError{Key: key, Reason: fmt.Sprintf("control character %q", r)}
+		}
+	}
+	return k, nil
+}

@@ -1,0 +1,228 @@
+package substream
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	hybridprng "repro"
+)
+
+// Registry state blob, "hsubreg" v1:
+//
+//	magic "hsubreg" | u16 version
+//	u64 rootSeed | u32-len feed name | u32 walkLen | u32 initWalkLen
+//	u64 float64bits(hMin) | u32 nTenants
+//	per tenant (sorted by key):
+//	  u32-len key | u32-len generator blob ("hprng" v2)
+//	  u64 draws | u64 bytes | u64 sheds | u64 float64bits(tokens)
+//
+// Everything a tenant's stream needs to resume bitwise — the exact
+// walk and feed state via the nested generator blob — plus its
+// meters and bucket level, so a kill/restart or a drain handover is
+// invisible to both the stream and the accounting. The runtime knobs
+// (resident cap, rate, clock) are deliberately absent: they belong
+// to the node serving the streams, not to the streams themselves.
+
+const (
+	regMagic   = "hsubreg"
+	regVersion = 1
+)
+
+// MarshalBinary checkpoints every tenant — resident generators are
+// marshalled in place (under their stream lock, so concurrent draws
+// serialise cleanly), parked tenants contribute their stored blob.
+func (r *Registry) MarshalBinary() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]byte{}, regMagic...)
+	out = binary.LittleEndian.AppendUint16(out, regVersion)
+	out = binary.LittleEndian.AppendUint64(out, r.cfg.RootSeed)
+	out = appendPrefixed(out, []byte(r.cfg.Feed))
+	out = binary.LittleEndian.AppendUint32(out, uint32(r.cfg.WalkLen))
+	out = binary.LittleEndian.AppendUint32(out, uint32(r.cfg.InitWalkLen))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(r.cfg.HealthHMin))
+	keys := r.sortedKeysLocked()
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(keys)))
+	for _, k := range keys {
+		var p parked
+		if t, ok := r.resident[k]; ok {
+			t.mu.Lock()
+			blob, err := t.gen.MarshalBinary()
+			tokens := t.tokens
+			t.mu.Unlock()
+			if err != nil {
+				return nil, fmt.Errorf("substream: marshalling tenant %q: %w", k, err)
+			}
+			p = parked{
+				blob:   blob,
+				draws:  t.draws.Load(),
+				bytes:  t.bytes.Load(),
+				sheds:  t.sheds.Load(),
+				tokens: tokens,
+			}
+		} else {
+			p = *r.parked[k]
+		}
+		out = appendPrefixed(out, []byte(k))
+		out = appendPrefixed(out, p.blob)
+		out = binary.LittleEndian.AppendUint64(out, p.draws)
+		out = binary.LittleEndian.AppendUint64(out, p.bytes)
+		out = binary.LittleEndian.AppendUint64(out, p.sheds)
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(p.tokens))
+	}
+	return out, nil
+}
+
+// UnmarshalBinary replaces the registry's tenant population with the
+// blob's. Every restored tenant starts parked — the generator blob
+// is validated but the walker is rebuilt lazily on the tenant's
+// first draw, so restoring a million-tenant registry costs no init
+// walks up front (the paper's on-demand property, preserved across
+// restarts). Derivation parameters are taken from the blob; the
+// runtime knobs configured at New/Restore time are kept.
+func (r *Registry) UnmarshalBinary(data []byte) error {
+	c := cursor{p: data}
+	if !c.magic(regMagic) {
+		return fmt.Errorf("substream: bad registry magic")
+	}
+	if v := c.u16(); c.err == nil && v != regVersion {
+		return fmt.Errorf("substream: unsupported registry state version %d", v)
+	}
+	rootSeed := c.u64()
+	feed := string(c.bytes("feed name"))
+	walkLen := c.u32()
+	initWalkLen := c.u32()
+	hMin := math.Float64frombits(c.u64())
+	n := int(c.u32())
+	if c.err != nil {
+		return c.err
+	}
+	switch feed {
+	case hybridprng.FeedGlibc, hybridprng.FeedANSIC, hybridprng.FeedSplitMix:
+	default:
+		return fmt.Errorf("substream: state blob names unknown feed %q", feed)
+	}
+	parkedSet := make(map[string]*parked, n)
+	seeds := make(map[uint64]string, n)
+	for i := 0; i < n; i++ {
+		key := string(c.bytes("tenant key"))
+		blob := c.bytes("tenant generator blob")
+		p := &parked{
+			blob:  append([]byte{}, blob...),
+			draws: c.u64(),
+			bytes: c.u64(),
+			sheds: c.u64(),
+		}
+		p.tokens = math.Float64frombits(c.u64())
+		if c.err != nil {
+			return c.err
+		}
+		canon, err := Canonical(key)
+		if err != nil || canon != key {
+			return fmt.Errorf("substream: state blob holds non-canonical key %q", key)
+		}
+		if err := new(hybridprng.Generator).UnmarshalBinary(p.blob); err != nil {
+			return fmt.Errorf("substream: tenant %q generator blob: %w", key, err)
+		}
+		if _, dup := parkedSet[key]; dup {
+			return fmt.Errorf("substream: state blob repeats tenant %q", key)
+		}
+		seed := DeriveSeed(rootSeed, key)
+		if prev, taken := seeds[seed]; taken {
+			return &CollisionError{Key: key, Existing: prev, Seed: seed}
+		}
+		parkedSet[key] = p
+		seeds[seed] = key
+	}
+	if len(c.p) != 0 {
+		return fmt.Errorf("substream: %d trailing bytes after registry state", len(c.p))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.cfg.RootSeed = rootSeed
+	r.cfg.Feed = feed
+	r.cfg.WalkLen = int(walkLen)
+	r.cfg.InitWalkLen = int(initWalkLen)
+	r.cfg.HealthHMin = hMin
+	r.resident = make(map[string]*tenant)
+	r.lru.Init()
+	r.parked = parkedSet
+	r.seeds = seeds
+	return nil
+}
+
+// appendPrefixed appends a u32 length header and the blob.
+func appendPrefixed(out, blob []byte) []byte {
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(blob)))
+	return append(out, blob...)
+}
+
+// cursor is a little decode helper: reads latch the first error and
+// subsequent reads return zero values, so decode bodies stay linear.
+type cursor struct {
+	p   []byte
+	err error
+}
+
+func (c *cursor) magic(m string) bool {
+	if c.err != nil || len(c.p) < len(m) || string(c.p[:len(m)]) != m {
+		return false
+	}
+	c.p = c.p[len(m):]
+	return true
+}
+
+func (c *cursor) u16() uint16 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.p) < 2 {
+		c.err = fmt.Errorf("substream: registry state truncated")
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(c.p)
+	c.p = c.p[2:]
+	return v
+}
+
+func (c *cursor) u32() uint32 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.p) < 4 {
+		c.err = fmt.Errorf("substream: registry state truncated")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(c.p)
+	c.p = c.p[4:]
+	return v
+}
+
+func (c *cursor) u64() uint64 {
+	if c.err != nil {
+		return 0
+	}
+	if len(c.p) < 8 {
+		c.err = fmt.Errorf("substream: registry state truncated")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.p)
+	c.p = c.p[8:]
+	return v
+}
+
+// bytes consumes a u32 length-prefixed blob.
+func (c *cursor) bytes(what string) []byte {
+	n := int(c.u32())
+	if c.err != nil {
+		return nil
+	}
+	if n > len(c.p) {
+		c.err = fmt.Errorf("substream: %s truncated (%d of %d bytes)", what, len(c.p), n)
+		return nil
+	}
+	b := c.p[:n]
+	c.p = c.p[n:]
+	return b
+}
