@@ -3,7 +3,7 @@
 
 GOPATH_BIN := $(shell go env GOPATH)/bin
 
-.PHONY: build test race lint lint-vet fmt check battery-short battery-long bench-seed bench-gate fleet-drill substream-test
+.PHONY: build test race race-full lint lint-json lint-vet fmt check battery-short battery-long bench-seed bench-gate fleet-drill substream-test
 
 build:
 	go build ./...
@@ -12,11 +12,25 @@ test:
 	go test ./...
 
 race:
-	go test -race -short -shuffle=on ./...
+	go test -race -short -shuffle=on -count=2 ./...
+
+## race-full: the complete (non-short) suite under the race detector —
+## long batteries, chaos recovery storms and the fleet drill included —
+## so the static lock-order/goleak claims are cross-checked on real
+## schedules. Slow by design; CI runs it weekly (race-full.yml), run it
+## locally before touching lock structure or goroutine lifetimes.
+race-full:
+	go test -race -shuffle=on -count=1 -timeout 60m ./...
+	go test -run Chaos -race -count=3 -timeout 30m ./...
 
 ## lint: run the hybridlint analyzer suite standalone (fast loop).
 lint:
 	go run ./cmd/hybridlint ./...
+
+## lint-json: same run, plus machine-readable findings for artifacts
+## and editor tooling.
+lint-json:
+	go run ./cmd/hybridlint -json ./... > hybridlint.json
 
 ## lint-vet: the exact CI invocation — hybridlint under go vet's
 ## unit-checker protocol.

@@ -218,6 +218,61 @@ func TestSubstreamCloseAndResume(t *testing.T) {
 	}
 }
 
+// TestRootCloseTerminatesSubstreamRings: the goleak analyzer's
+// contract, pinned dynamically — when the root client closes, every
+// cached Substream handle's prefetch goroutine has provably exited
+// by the time Close returns (each ring signals `done` on exit and
+// Close joins it). A ring that outlived its client would keep
+// fetching a dead tenant stream forever.
+func TestRootCloseTerminatesSubstreamRings(t *testing.T) {
+	_, ts := newSubstreamServer(t, substream.Config{RootSeed: 4242})
+	cl := newTestClient(t, Options{Endpoints: []string{ts.URL}})
+
+	keys := []string{"ring-a", "ring-b", "ring-c"}
+	subs := make([]*Client, 0, len(keys))
+	for _, k := range keys {
+		sc, err := cl.Substream(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sc.Uint64(); err != nil {
+			t.Fatalf("%s: priming draw: %v", k, err)
+		}
+		subs = append(subs, sc)
+	}
+
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range subs {
+		select {
+		case <-sc.done:
+			// refill goroutine exited before Close returned
+		default:
+			t.Fatalf("substream %q prefetch goroutine still running after root Close", keys[i])
+		}
+		// Already-fetched words may drain, but the dead ring must fail
+		// with ErrClosed as soon as a new block is needed.
+		closed := false
+		for n := 0; n < 1<<20; n++ {
+			if _, err := sc.Uint64(); errors.Is(err, ErrClosed) {
+				closed = true
+				break
+			} else if err != nil {
+				t.Fatalf("substream %q draw after root close = %v, want ErrClosed", keys[i], err)
+			}
+		}
+		if !closed {
+			t.Fatalf("substream %q never returned ErrClosed after root Close", keys[i])
+		}
+	}
+	select {
+	case <-cl.done:
+	default:
+		t.Fatal("root prefetch goroutine still running after Close")
+	}
+}
+
 // TestSubstreamShedDoesNotPoisonEndpoint: a tenant that exhausts its
 // token bucket gets 429s on its keyed path — that must pause only
 // that tenant's refill, never mark the shared endpoint unhealthy,

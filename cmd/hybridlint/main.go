@@ -1,10 +1,16 @@
 // Command hybridlint runs the repro static-analysis suite (package
-// repro/internal/lint): noclock, lockguard, marshalsym and zerofill.
+// repro/internal/lint): noclock, lockguard, lockorder, goleak,
+// marshalsym and zerofill.
 //
 // Two modes:
 //
 //	hybridlint ./...                      # standalone, loads via `go list -export`
 //	go vet -vettool=$(which hybridlint) ./...   # unit-checker under cmd/go
+//
+// Standalone mode also takes -json, which prints the findings as a
+// JSON array (file/line/col/analyzer/message/marker per element) on
+// stdout for CI artifacts and editor tooling; the human lines and
+// the exit code are unchanged.
 //
 // The vettool mode speaks cmd/go's vet protocol: it is invoked once
 // per package with a JSON config file argument (*.cfg) naming the
@@ -40,6 +46,7 @@ func run(args []string) (int, error) {
 	fs := flag.NewFlagSet("hybridlint", flag.ContinueOnError)
 	version := fs.String("V", "", "print version and exit (cmd/go protocol)")
 	printFlags := fs.Bool("flags", false, "print analyzer flags in JSON (cmd/go protocol)")
+	jsonOut := fs.Bool("json", false, "also print findings as a JSON array on stdout (standalone mode)")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -58,7 +65,7 @@ func run(args []string) (int, error) {
 	if len(rest) == 0 {
 		rest = []string{"."}
 	}
-	return runStandalone(rest)
+	return runStandalone(rest, *jsonOut)
 }
 
 // printVersion answers -V=full with the self-hash line cmd/go uses
@@ -85,14 +92,26 @@ func printVersion(mode string) error {
 	return nil
 }
 
+// jsonDiag is one finding in -json output. The shape is stable — CI
+// artifacts and editor integrations parse it.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Marker   string `json:"marker,omitempty"`
+}
+
 // runStandalone loads packages through the go command and analyzes
 // everything in the current module.
-func runStandalone(patterns []string) (int, error) {
+func runStandalone(patterns []string, jsonOut bool) (int, error) {
 	pkgs, err := lint.LoadPatterns(patterns...)
 	if err != nil {
 		return 2, err
 	}
-	found := 0
+	// Always an array, never null: zero findings is `[]`.
+	jdiags := []jsonDiag{}
 	for _, pkg := range pkgs {
 		diags, err := lint.Run(pkg, lint.All())
 		if err != nil {
@@ -100,11 +119,25 @@ func runStandalone(patterns []string) (int, error) {
 		}
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)
-			found++
+			jdiags = append(jdiags, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+				Marker:   d.Marker,
+			})
 		}
 	}
-	if found > 0 {
-		fmt.Fprintf(os.Stderr, "hybridlint: %d finding(s)\n", found)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jdiags); err != nil {
+			return 2, err
+		}
+	}
+	if len(jdiags) > 0 {
+		fmt.Fprintf(os.Stderr, "hybridlint: %d finding(s)\n", len(jdiags))
 		return 1, nil
 	}
 	return 0, nil

@@ -232,7 +232,13 @@ func WatchEndpoints(ctx context.Context, controller string, hc *http.Client, app
 			sleepCtx(ctx, time.Second)
 			continue
 		}
-		if v > since {
+		// A version that went backwards is as meaningful as one that
+		// advanced: a restarted (or replaced) controller starts its
+		// endpoint versioning from scratch, and treating its lower
+		// numbers as "nothing new" would pin every watcher to the dead
+		// controller's final list forever. Resync to the new numbering
+		// and apply the current view.
+		if v != since {
 			since = v
 			apply(v, eps)
 		}

@@ -215,3 +215,76 @@ func TestWatchEndpointsFollowsFleet(t *testing.T) {
 		t.Fatal("watcher missed the endpoint change")
 	}
 }
+
+// TestWatchEndpointsControllerRestart: a replaced controller starts
+// its endpoint versioning from scratch, so the watcher sees the
+// version go backwards. That must resync the watch, not freeze it on
+// the dead controller's final list.
+func TestWatchEndpointsControllerRestart(t *testing.T) {
+	clk := newFakeClock()
+	ctrl1, err := NewController(testConfig(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance ctrl1 past version 1 so the restarted controller's
+	// numbering is strictly behind.
+	if _, err := ctrl1.Register(NodeInfo{ID: "a", URL: "http://a", CapacityWords: 64_000}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl1.Register(NodeInfo{ID: "b", URL: "http://b", CapacityWords: 64_000}); err != nil {
+		t.Fatal(err)
+	}
+
+	var handler atomic.Value // http.Handler: the "controller process"
+	handler.Store(NewServer(ctrl1, ServerOptions{WatchHold: 50 * time.Millisecond}).Handler())
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	type update struct {
+		version   uint64
+		endpoints []string
+	}
+	updates := make(chan update, 16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go WatchEndpoints(ctx, srv.URL, nil, func(v uint64, eps []string) {
+		updates <- update{v, eps}
+	})
+
+	var last update
+	deadline := time.After(5 * time.Second)
+	for len(last.endpoints) != 2 {
+		select {
+		case last = <-updates:
+		case <-deadline:
+			t.Fatalf("watcher never reached ctrl1's two-node list, last %+v", last)
+		}
+	}
+
+	// "Restart" the controller: a fresh process with a fresh version
+	// counter and a different fleet.
+	ctrl2, err := NewController(testConfig(clk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctrl2.Register(NodeInfo{ID: "c", URL: "http://c", CapacityWords: 64_000}); err != nil {
+		t.Fatal(err)
+	}
+	handler.Store(NewServer(ctrl2, ServerOptions{WatchHold: 50 * time.Millisecond}).Handler())
+
+	for {
+		select {
+		case u := <-updates:
+			if len(u.endpoints) == 1 && u.endpoints[0] == "http://c" {
+				if u.version >= last.version {
+					t.Fatalf("restarted controller should have a lower version, got %d after %d", u.version, last.version)
+				}
+				return
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("watcher stayed pinned to the dead controller's endpoint list after the version went backwards")
+		}
+	}
+}

@@ -169,7 +169,7 @@ type Stream struct {
 	d     *Device
 	name  string
 	ready Time
-	mu    sync.Mutex
+	mu    sync.Mutex //lint:lockorder before Sim.mu stream ops serialise their own issue order, then book engine time on the shared simulator; Sim never calls back into a stream
 }
 
 // NewStream creates a stream whose first operation may start no

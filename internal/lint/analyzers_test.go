@@ -16,6 +16,14 @@ func TestLockGuard(t *testing.T) {
 	runFixture(t, LockGuard, "lockguard", "fixtures/lockguard")
 }
 
+func TestLockOrder(t *testing.T) {
+	runFixture(t, LockOrder, "lockorder", "fixtures/lockorder")
+}
+
+func TestGoLeak(t *testing.T) {
+	runFixture(t, GoLeak, "goleak", "fixtures/goleak")
+}
+
 func TestMarshalSym(t *testing.T) {
 	runFixture(t, MarshalSym, "marshalsym", "fixtures/marshalsym")
 }

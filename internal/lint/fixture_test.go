@@ -26,7 +26,7 @@ import (
 // fixtureImporter resolves the handful of std imports fixtures use
 // from compiler export data, shared across tests.
 var fixtureImporter = sync.OnceValues(func() (map[string]string, error) {
-	listed, err := goList("time", "sync", "sync/atomic", "encoding/binary", "errors", "math/rand")
+	listed, err := goList("time", "sync", "sync/atomic", "encoding/binary", "errors", "math/rand", "context")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak requires every goroutine started in library code to have a
+// provable shutdown path — the static half of the "prefetch ring or
+// long-poll watcher outlives its Client" bug class. A goroutine that
+// loops forever with no exit signal keeps its closure alive after
+// the owner is closed: the fleet watcher keeps polling a dead
+// controller, a substream handle's refill ring keeps fetching after
+// the root Client is gone, and under churn those pile into an
+// unbounded goroutine (and socket) leak the race detector never
+// flags, because leaked goroutines race with nothing.
+//
+// The analyzer looks at every `go` statement and resolves the
+// spawned body — a function literal in place, or a same-package
+// function/method (`go c.refill()`). Within that body (not its
+// callees — what a goroutine does per iteration is its own business;
+// how it stops is the spawner's contract) every unbounded loop
+// (`for {}` / `for true {}`) must contain a shutdown signal:
+//
+//   - a receive — in a select case or standalone — from a
+//     context's Done() channel, or
+//   - a receive from (or range over) a channel that library code
+//     provably closes: close(ch) appears in this package (typically a
+//     Close/Stop method — possibly on a different struct than the one
+//     that spawned the goroutine), or the channel is a parameter of
+//     the goroutine's own function, making closing it the caller's
+//     documented duty, or
+//   - a ctx.Err() check, the polling-loop equivalent.
+//
+// Loops with a real condition or a range over non-channel data are
+// bounded by their own exit and pass. A select with only a `default`
+// does not count as a signal — that is exactly the spin-poll shape
+// that leaks. Goroutines that intentionally run for the process
+// lifetime carry a //lint:ignore goleak marker naming the reason.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc: "every goroutine in library code needs a provable shutdown path: select on a " +
+		"context/done channel closed by a Close/Stop method, or a bounded loop",
+	Run: runGoLeak,
+}
+
+type goLeak struct {
+	pass   *Pass
+	decls  map[types.Object]*ast.FuncDecl
+	closed map[*types.Var]bool // channel vars some function close()s
+	seen   map[token.Pos]bool  // offending loops already reported
+}
+
+func runGoLeak(pass *Pass) error {
+	if pathExempt(pass.ImportPath) {
+		return nil
+	}
+	gl := &goLeak{
+		pass:   pass,
+		decls:  make(map[types.Object]*ast.FuncDecl),
+		closed: make(map[*types.Var]bool),
+		seen:   make(map[token.Pos]bool),
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		if fd.Body != nil && !isTestFile(pass.Fset, fd.Pos()) {
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				gl.decls[obj] = fd
+			}
+		}
+	}
+	gl.collectClosed()
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				gl.checkGo(g)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// collectClosed records every channel-valued var (field, package
+// var, local) that some non-test function in the package calls
+// close() on — including inside function literals, which is where
+// sync.Once-guarded closes live (closed.Do(func() { close(f.done) })).
+func (gl *goLeak) collectClosed() {
+	for _, f := range gl.pass.Files {
+		if isTestFile(gl.pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "close" {
+				return true
+			}
+			if b, ok := gl.pass.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+				return true
+			}
+			if v := gl.chanVar(call.Args[0]); v != nil {
+				gl.closed[v] = true
+			}
+			return true
+		})
+	}
+}
+
+// chanVar resolves an expression naming a channel to its variable:
+// f.done (field), done (local/package var). Anything else is nil.
+func (gl *goLeak) chanVar(e ast.Expr) *types.Var {
+	switch x := e.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := gl.pass.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if v, ok := s.Obj().(*types.Var); ok {
+				return v
+			}
+		}
+	case *ast.Ident:
+		var obj types.Object
+		if u, ok := gl.pass.Info.Uses[x]; ok {
+			obj = u
+		} else if d, ok := gl.pass.Info.Defs[x]; ok {
+			obj = d
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+	case *ast.ParenExpr:
+		return gl.chanVar(x.X)
+	}
+	return nil
+}
+
+// checkGo resolves the spawned body and audits its loops.
+func (gl *goLeak) checkGo(g *ast.GoStmt) {
+	var body *ast.BlockStmt
+	var params map[*types.Var]bool
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+		params = gl.paramSet(fun.Type)
+	default:
+		var obj types.Object
+		switch fun := fun.(type) {
+		case *ast.Ident:
+			obj = gl.pass.Info.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = gl.pass.Info.Uses[fun.Sel]
+		}
+		fn, ok := obj.(*types.Func)
+		if !ok || fn.Pkg() != gl.pass.Pkg {
+			return // cross-package spawn: that package's analyzers judge it
+		}
+		fd := gl.decls[fn]
+		if fd == nil {
+			return
+		}
+		body = fd.Body
+		params = gl.paramSet(fd.Type)
+	}
+	gl.auditLoops(body, g, params)
+}
+
+// paramSet collects the function's own parameters: a channel or
+// context handed in by the spawner is a shutdown signal by
+// construction — closing/cancelling it is the caller's side of the
+// contract.
+func (gl *goLeak) paramSet(ft *ast.FuncType) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if v, ok := gl.pass.Info.Defs[name].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// auditLoops finds the unbounded loops in the goroutine's own body
+// (nested literals spawn or register elsewhere; they are audited at
+// their own go statements) and demands a shutdown signal in each.
+func (gl *goLeak) auditLoops(body *ast.BlockStmt, g *ast.GoStmt, params map[*types.Var]bool) {
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ForStmt:
+			if !unboundedFor(n) {
+				return true
+			}
+			if gl.hasShutdownSignal(n.Body, params) {
+				return true
+			}
+			gl.reportLoop(n.Pos(), g,
+				"goroutine loops forever with no shutdown path: give the loop a select case on a context Done() or a close()-able done channel, or bound it")
+			return true
+		case *ast.RangeStmt:
+			if ch, ok := gl.pass.Info.Types[n.X]; ok {
+				if _, isChan := ch.Type.Underlying().(*types.Chan); isChan {
+					if v := gl.chanVar(n.X); v == nil || !(gl.closed[v] || params[v]) {
+						gl.reportLoop(n.Pos(), g,
+							"goroutine ranges over a channel nothing in this package ever close()s, so the range never ends and the goroutine leaks")
+					}
+				}
+			}
+			return true
+		}
+		return true
+	}
+	ast.Inspect(body, visit)
+}
+
+func (gl *goLeak) reportLoop(loopPos token.Pos, g *ast.GoStmt, msg string) {
+	if gl.seen[loopPos] {
+		return
+	}
+	gl.seen[loopPos] = true
+	spawn := gl.pass.Fset.Position(g.Pos())
+	gl.pass.Reportf(loopPos, "%s (started at %s:%d)", msg, shortPath(spawn.Filename), spawn.Line)
+}
+
+// shortPath trims the path to its last two segments so diagnostics
+// stay readable regardless of the checkout location.
+func shortPath(p string) string {
+	slash := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return p[i+1:]
+			}
+		}
+	}
+	return p
+}
+
+// unboundedFor reports whether the loop can only be left by an
+// explicit exit: `for {}` or `for true {}`.
+func unboundedFor(f *ast.ForStmt) bool {
+	if f.Cond == nil {
+		return true
+	}
+	if id, ok := f.Cond.(*ast.Ident); ok && id.Name == "true" {
+		return true
+	}
+	return false
+}
+
+// hasShutdownSignal scans the loop body (through nested blocks and
+// selects, not into nested function literals) for a qualifying exit
+// signal.
+func (gl *goLeak) hasShutdownSignal(body *ast.BlockStmt, params map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && gl.qualifyingRecv(n.X, params) {
+				found = true
+				return false
+			}
+		case *ast.RangeStmt:
+			if tv, ok := gl.pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					if gl.qualifyingRecv(n.X, params) {
+						found = true
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// ctx.Err() != nil checks: the polling-loop spelling of a
+			// Done() select.
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Err" {
+				if isContext(gl.pass.Info.TypeOf(sel.X)) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// qualifyingRecv reports whether receiving from e is a real shutdown
+// signal: a context Done() channel, or a channel var that library
+// code closes (or that the goroutine's caller owns as a parameter).
+func (gl *goLeak) qualifyingRecv(e ast.Expr, params map[*types.Var]bool) bool {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			if isContext(gl.pass.Info.TypeOf(sel.X)) {
+				return true
+			}
+		}
+		return false
+	}
+	v := gl.chanVar(e)
+	if v == nil {
+		return false
+	}
+	return gl.closed[v] || params[v]
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -61,7 +61,7 @@ type Analyzer struct {
 
 // All is the hybridlint suite in reporting order.
 func All() []*Analyzer {
-	return []*Analyzer{NoClock, LockGuard, MarshalSym, ZeroFill}
+	return []*Analyzer{NoClock, LockGuard, LockOrder, GoLeak, MarshalSym, ZeroFill}
 }
 
 // A Pass hands one type-checked package to one analyzer.
@@ -90,11 +90,26 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// A Diagnostic is one finding, already positioned.
+// ReportMarkerf records a finding about a marker comment, carrying
+// the marker's text for machine-readable output.
+func (p *Pass) ReportMarkerf(pos token.Pos, markerText, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Marker:   markerText,
+	})
+}
+
+// A Diagnostic is one finding, already positioned. Marker is set
+// when the finding is about a suppression/declaration marker rather
+// than code (the load-bearing checks); it carries the marker text so
+// `hybridlint -json` consumers can distinguish the two.
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Marker   string
 }
 
 func (d Diagnostic) String() string {
@@ -161,6 +176,7 @@ type marker struct {
 	pos      token.Position
 	analyzer string // which analyzer it suppresses
 	reason   string
+	text     string // the raw comment, surfaced in marker findings
 	used     bool
 }
 
@@ -188,7 +204,7 @@ func applyMarkers(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Dia
 				if m == nil {
 					continue
 				}
-				mk := &marker{pos: pkg.Fset.Position(c.Pos())}
+				mk := &marker{pos: pkg.Fset.Position(c.Pos()), text: c.Text}
 				switch m[1] {
 				case "wallclock":
 					mk.analyzer = "noclock"
@@ -230,12 +246,14 @@ func applyMarkers(pkg *Package, analyzers []*Analyzer, diags []Diagnostic) []Dia
 				Pos:      mk.pos,
 				Analyzer: mk.analyzer,
 				Message:  "marker suppresses nothing and must be removed (markers have to be load-bearing)",
+				Marker:   mk.text,
 			})
 		case mk.reason == "":
 			kept = append(kept, Diagnostic{
 				Pos:      mk.pos,
 				Analyzer: mk.analyzer,
 				Message:  "marker needs a justification (//lint:… <why>)",
+				Marker:   mk.text,
 			})
 		}
 	}

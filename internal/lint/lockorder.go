@@ -1,0 +1,932 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds an inter-procedural lock-acquisition graph over
+// every sync.Mutex/RWMutex in library code and reports the deadlock
+// preconditions the Go toolchain cannot see:
+//
+//   - an acquisition cycle between two or more mutexes (A held while
+//     B is acquired somewhere, B held while A is acquired somewhere
+//     else) — the classic two-goroutine deadlock shape;
+//   - the same mutex acquired while an instance of it is already
+//     held (multi-instance locking with no deterministic order —
+//     two goroutines walking the instances in opposite orders
+//     deadlock);
+//   - an RLock-to-Lock upgrade attempt on one mutex (self-deadlock
+//     whenever a writer is already queued);
+//   - a blocking acquisition that contradicts a declared partial
+//     order.
+//
+// The graph is seeded from direct Lock/RLock/TryLock call sites and
+// follows same-package calls the way marshalsym inlines codec
+// helpers: a function's transitive acquire-set is charged at each
+// call site against the locks the caller holds there, so the
+// Registry.mu → tenant.mu edge inside evictTailLocked is visible
+// from the Fill path that calls it with Registry.mu held.
+//
+// TryLock edges are recorded but non-blocking: a holder that fails a
+// TryLock backs off instead of waiting, so a cycle is only a
+// deadlock when every edge in it blocks. This is exactly the pool's
+// gang-refill contract — shard i holds its own lock and TryLocks its
+// neighbours — and the analyzer encodes it instead of asking for an
+// annotation.
+//
+// # Declared order
+//
+//	mu sync.Mutex //lint:lockorder before tenant.mu <why>
+//
+// declares that mu is acquired before tenant.mu wherever both are
+// held. The declarations must form a DAG; a blocking edge observed
+// against a declaration is a finding even when no full cycle exists
+// yet — the first half of a future deadlock is caught when it is
+// written, not when its partner lands. Like every hybridlint marker,
+// a declaration must be load-bearing: one that matches no observed
+// edge, or carries no reason, is itself a finding.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "lock-acquisition cycles, unordered multi-instance locking, RLock upgrades and " +
+		"violations of //lint:lockorder declared order are deadlock preconditions",
+	Run: runLockOrder,
+}
+
+var lockOrderMarkerRe = regexp.MustCompile(`//lint:lockorder\s+before\s+(\S+)(?:\s+(.*))?$`)
+
+// lockAcqMode classifies one acquisition.
+type lockAcqMode int
+
+const (
+	acqBlock lockAcqMode = iota // Lock / RLock: waits for the holder
+	acqTry                      // TryLock / TryRLock: backs off instead
+)
+
+// heldLock is one entry of the walker's held-set.
+type heldLock struct {
+	v    *types.Var // the mutex (field or package/local var)
+	expr string     // spelling of the receiver, e.g. "s.mu"
+	read bool       // held via RLock
+	iter int        // loop pass that acquired it (cross-iteration detection)
+}
+
+// lockEdge is one observed "from held while to acquired" pair.
+type lockEdge struct {
+	from, to *types.Var
+	blocking bool
+	pos      token.Pos
+}
+
+type edgeKey struct {
+	from, to *types.Var
+	blocking bool
+}
+
+// lockDecl is one //lint:lockorder before marker.
+type lockDecl struct {
+	before, after *types.Var // declared: before is acquired first
+	pos           token.Position
+	reason        string
+	text          string
+	used          bool
+}
+
+type lockOrder struct {
+	pass  *Pass
+	decls map[types.Object]*ast.FuncDecl
+	sums  map[*ast.FuncDecl]map[*types.Var]lockAcqMode
+	edges map[edgeKey]*lockEdge
+	names map[*types.Var]string
+	iter  int // current loop pass while walking
+}
+
+func runLockOrder(pass *Pass) error {
+	if pathExempt(pass.ImportPath) {
+		return nil
+	}
+	lo := &lockOrder{
+		pass:  pass,
+		decls: make(map[types.Object]*ast.FuncDecl),
+		sums:  make(map[*ast.FuncDecl]map[*types.Var]lockAcqMode),
+		edges: make(map[edgeKey]*lockEdge),
+		names: make(map[*types.Var]string),
+	}
+	for _, fd := range funcDecls(pass.Files) {
+		if fd.Body != nil && !isTestFile(pass.Fset, fd.Pos()) {
+			if obj := pass.Info.Defs[fd.Name]; obj != nil {
+				lo.decls[obj] = fd
+			}
+		}
+	}
+	lo.collectNames()
+	// Walk every function declaration and every function literal as
+	// an independent root: a literal's body runs with its own stack,
+	// and the locks its spawner held are its spawner's business.
+	for _, fd := range funcDecls(pass.Files) {
+		if fd.Body == nil || isTestFile(pass.Fset, fd.Pos()) {
+			continue
+		}
+		var held []heldLock
+		lo.walkStmts(fd.Body.List, &held)
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				var held []heldLock
+				lo.walkStmts(lit.Body.List, &held)
+			}
+			return true
+		})
+	}
+	lo.reportCycles()
+	lo.checkDeclarations()
+	return nil
+}
+
+// collectNames maps every lockable field to "Owner.field" so
+// diagnostics and declarations share one vocabulary; bare vars keep
+// their name.
+func (lo *lockOrder) collectNames() {
+	scope := lo.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if tn, ok := obj.(*types.TypeName); ok {
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if isLockable(f.Type()) {
+					lo.names[f] = tn.Name() + "." + f.Name()
+				}
+			}
+		}
+		if v, ok := obj.(*types.Var); ok && isLockable(v.Type()) {
+			lo.names[v] = v.Name()
+		}
+	}
+}
+
+func (lo *lockOrder) name(v *types.Var) string {
+	if n, ok := lo.names[v]; ok {
+		return n
+	}
+	return v.Name()
+}
+
+// mutexOf resolves the receiver of a Lock/Unlock-style selector to
+// the mutex variable it names: x.mu (field), mu (package-level or
+// local var), or a var whose own type carries the lock methods (an
+// embedded mutex).
+func (lo *lockOrder) mutexOf(recv ast.Expr) *types.Var {
+	switch x := recv.(type) {
+	case *ast.SelectorExpr:
+		if s, ok := lo.pass.Info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			if fv, ok := s.Obj().(*types.Var); ok && isLockable(fv.Type()) {
+				return fv
+			}
+		}
+	case *ast.Ident:
+		var obj types.Object
+		if u, ok := lo.pass.Info.Uses[x]; ok {
+			obj = u
+		} else if d, ok := lo.pass.Info.Defs[x]; ok {
+			obj = d
+		}
+		if v, ok := obj.(*types.Var); ok && isLockable(v.Type()) {
+			return v
+		}
+	case *ast.ParenExpr:
+		return lo.mutexOf(x.X)
+	}
+	return nil
+}
+
+// acquire records one acquisition event against the current held-set:
+// edges from every held lock, the self/upgrade checks, and the push.
+func (lo *lockOrder) acquire(v *types.Var, expr string, read bool, mode lockAcqMode, pos token.Pos, held *[]heldLock) {
+	for _, h := range *held {
+		if h.v == v {
+			if mode != acqBlock {
+				continue // TryLock on a held peer backs off: gang refill
+			}
+			switch {
+			case h.read && !read && h.expr == expr && h.iter == lo.iter:
+				lo.pass.Reportf(pos,
+					"RLock-to-Lock upgrade on %s: the Lock waits for readers that include this goroutine (self-deadlock once a writer queues)",
+					lo.name(v))
+			case h.expr == expr && h.iter == lo.iter && !h.read && !read:
+				lo.pass.Reportf(pos,
+					"%s is acquired while already held by this goroutine: sync mutexes are not reentrant, this self-deadlocks",
+					lo.name(v))
+			default:
+				lo.pass.Reportf(pos,
+					"%s is acquired while another instance of %s is held; without a deterministic instance order two goroutines locking in opposite orders deadlock",
+					lo.name(v), lo.name(v))
+			}
+			continue
+		}
+		lo.addEdge(h.v, v, mode == acqBlock, pos)
+	}
+	*held = append(*held, heldLock{v: v, expr: expr, read: read, iter: lo.iter})
+}
+
+func (lo *lockOrder) addEdge(from, to *types.Var, blocking bool, pos token.Pos) {
+	if from == to {
+		return // self-edges are judged at the acquisition site
+	}
+	k := edgeKey{from, to, blocking}
+	if _, ok := lo.edges[k]; !ok {
+		lo.edges[k] = &lockEdge{from: from, to: to, blocking: blocking, pos: pos}
+	}
+}
+
+// release pops the most recent held entry for v, preferring the one
+// with the same receiver spelling.
+func release(v *types.Var, expr string, held *[]heldLock) {
+	h := *held
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].v == v && h[i].expr == expr {
+			*held = append(h[:i], h[i+1:]...)
+			return
+		}
+	}
+	for i := len(h) - 1; i >= 0; i-- {
+		if h[i].v == v {
+			*held = append(h[:i], h[i+1:]...)
+			return
+		}
+	}
+}
+
+// summary computes the set of mutexes fd may acquire, transitively
+// through same-package calls. Memoized; a recursion cycle
+// contributes nothing to the back edge (under-approximation, never a
+// false positive).
+func (lo *lockOrder) summary(fd *ast.FuncDecl) map[*types.Var]lockAcqMode {
+	if s, ok := lo.sums[fd]; ok {
+		if s == nil {
+			return map[*types.Var]lockAcqMode{}
+		}
+		return s
+	}
+	lo.sums[fd] = nil
+	acq := make(map[*types.Var]lockAcqMode)
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs on its own stack (go/defer/callback)
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					if v := lo.mutexOf(sel.X); v != nil {
+						acq[v] = acqBlock
+						return true
+					}
+				case "TryLock", "TryRLock":
+					if v := lo.mutexOf(sel.X); v != nil {
+						if _, ok := acq[v]; !ok {
+							acq[v] = acqTry
+						}
+						return true
+					}
+				}
+			}
+			if callee := lo.calleeDecl(n); callee != nil {
+				for v, m := range lo.summary(callee) {
+					if cur, ok := acq[v]; !ok || (cur == acqTry && m == acqBlock) {
+						acq[v] = m
+					}
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+	lo.sums[fd] = acq
+	return acq
+}
+
+// calleeDecl resolves a call to its same-package FuncDecl, or nil.
+func (lo *lockOrder) calleeDecl(call *ast.CallExpr) *ast.FuncDecl {
+	var obj types.Object
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = lo.pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = lo.pass.Info.Uses[fun.Sel]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() != lo.pass.Pkg {
+		return nil
+	}
+	return lo.decls[fn]
+}
+
+// walkStmts drives the held-set through a statement list in source
+// order.
+func (lo *lockOrder) walkStmts(list []ast.Stmt, held *[]heldLock) {
+	for _, s := range list {
+		lo.walkStmt(s, held)
+	}
+}
+
+func (lo *lockOrder) walkStmt(s ast.Stmt, held *[]heldLock) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		lo.walkExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			lo.walkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			lo.walkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			lo.walkExpr(e, held)
+		}
+	case *ast.IfStmt:
+		lo.walkIf(s, held)
+	case *ast.ForStmt:
+		lo.walkStmt(s.Init, held)
+		lo.walkExpr(s.Cond, held)
+		lo.walkLoopBody(s.Body, held)
+		lo.walkStmt(s.Post, held)
+	case *ast.RangeStmt:
+		lo.walkExpr(s.X, held)
+		lo.walkLoopBody(s.Body, held)
+	case *ast.BlockStmt:
+		clone := cloneHeld(*held)
+		lo.walkStmts(s.List, &clone)
+	case *ast.SwitchStmt:
+		lo.walkStmt(s.Init, held)
+		lo.walkExpr(s.Tag, held)
+		for _, cc := range s.Body.List {
+			clone := cloneHeld(*held)
+			lo.walkStmts(cc.(*ast.CaseClause).Body, &clone)
+		}
+	case *ast.TypeSwitchStmt:
+		lo.walkStmt(s.Init, held)
+		for _, cc := range s.Body.List {
+			clone := cloneHeld(*held)
+			lo.walkStmts(cc.(*ast.CaseClause).Body, &clone)
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			clone := cloneHeld(*held)
+			lo.walkStmts(cc.(*ast.CommClause).Body, &clone)
+		}
+	case *ast.LabeledStmt:
+		lo.walkStmt(s.Stmt, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to the end of the
+		// function — exactly what not releasing models. A deferred
+		// same-package call is charged here (it runs with at least the
+		// locks still held now on most paths).
+		if sel, ok := s.Call.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Unlock", "RUnlock":
+				if lo.mutexOf(sel.X) != nil {
+					return
+				}
+			}
+		}
+		lo.walkExpr(s.Call, held)
+	case *ast.GoStmt:
+		// The spawned call runs on its own stack with nothing held;
+		// its body is analyzed as an independent root. Arguments are
+		// evaluated synchronously, locks and all.
+		for _, arg := range s.Call.Args {
+			lo.walkExpr(arg, held)
+		}
+	case *ast.IncDecStmt:
+		lo.walkExpr(s.X, held)
+	case *ast.SendStmt:
+		lo.walkExpr(s.Chan, held)
+		lo.walkExpr(s.Value, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						lo.walkExpr(e, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// walkLoopBody walks a loop body twice with the held-set flowing
+// between the passes, so a lock acquired in iteration k and still
+// held when iteration k+1 acquires the same field shows up as a
+// cross-iteration self-acquisition (the multi-instance ordering
+// hazard of ascending/descending lock sweeps).
+func (lo *lockOrder) walkLoopBody(body *ast.BlockStmt, held *[]heldLock) {
+	clone := cloneHeld(*held)
+	save := lo.iter
+	lo.iter = save + 1
+	lo.walkStmts(body.List, &clone)
+	lo.iter = save + 2
+	lo.walkStmts(body.List, &clone)
+	lo.iter = save
+}
+
+// walkIf handles the TryLock idioms before the generic walk:
+//
+//	if !s.mu.TryLock() { return }        // held after the if
+//	if s.mu.TryLock() { ... }            // held inside the body
+func (lo *lockOrder) walkIf(s *ast.IfStmt, held *[]heldLock) {
+	lo.walkStmt(s.Init, held)
+	tries := collectTryLocks(s.Cond)
+	// Calls in the condition other than the TryLocks themselves.
+	lo.walkExprSkipping(s.Cond, held, tries)
+	bodyHeld := cloneHeld(*held)
+	for _, t := range tries {
+		if !t.negated {
+			if v := lo.mutexOf(t.recv); v != nil {
+				lo.acquire(v, types.ExprString(t.recv), t.read, acqTry, t.pos, &bodyHeld)
+			}
+		}
+	}
+	lo.walkStmts(s.Body.List, &bodyHeld)
+	if s.Else != nil {
+		elseHeld := cloneHeld(*held)
+		lo.walkStmt(s.Else, &elseHeld)
+	}
+	// A negated TryLock whose failure path diverges means the lock is
+	// held on the fall-through path.
+	if diverges(s.Body) {
+		for _, t := range tries {
+			if t.negated {
+				if v := lo.mutexOf(t.recv); v != nil {
+					lo.acquire(v, types.ExprString(t.recv), t.read, acqTry, t.pos, held)
+				}
+			}
+		}
+	}
+}
+
+// tryLockUse is one TryLock call found inside an if condition.
+type tryLockUse struct {
+	recv    ast.Expr
+	pos     token.Pos
+	negated bool
+	read    bool
+	call    *ast.CallExpr
+}
+
+func collectTryLocks(cond ast.Expr) []*tryLockUse {
+	var out []*tryLockUse
+	var walk func(e ast.Expr, neg bool)
+	walk = func(e ast.Expr, neg bool) {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			walk(e.X, neg)
+		case *ast.UnaryExpr:
+			if e.Op == token.NOT {
+				walk(e.X, !neg)
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.LAND || e.Op == token.LOR {
+				walk(e.X, neg)
+				walk(e.Y, neg)
+			}
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "TryLock", "TryRLock":
+					out = append(out, &tryLockUse{
+						recv: sel.X, pos: e.Pos(), negated: neg,
+						read: sel.Sel.Name == "TryRLock", call: e,
+					})
+				}
+			}
+		}
+	}
+	walk(cond, false)
+	return out
+}
+
+// diverges reports whether the block always leaves the enclosing
+// statement (return/break/continue/goto as its last statement).
+func diverges(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	}
+	return false
+}
+
+// walkExpr scans an expression in evaluation order for mutex
+// operations and same-package calls.
+func (lo *lockOrder) walkExpr(e ast.Expr, held *[]heldLock) {
+	lo.walkExprSkipping(e, held, nil)
+}
+
+func (lo *lockOrder) walkExprSkipping(e ast.Expr, held *[]heldLock, skip []*tryLockUse) {
+	if e == nil {
+		return
+	}
+	skipped := make(map[*ast.CallExpr]bool, len(skip))
+	for _, t := range skip {
+		skipped[t.call] = true
+	}
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as an independent root
+		case *ast.CallExpr:
+			if skipped[n] {
+				return false
+			}
+			for _, arg := range n.Args {
+				ast.Inspect(arg, visit)
+			}
+			lo.handleCall(n, held)
+			return false
+		}
+		return true
+	}
+	ast.Inspect(e, visit)
+}
+
+func (lo *lockOrder) handleCall(call *ast.CallExpr, held *[]heldLock) {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			if v := lo.mutexOf(sel.X); v != nil {
+				lo.acquire(v, types.ExprString(sel.X), sel.Sel.Name == "RLock", acqBlock, call.Pos(), held)
+				return
+			}
+		case "TryLock", "TryRLock":
+			if v := lo.mutexOf(sel.X); v != nil {
+				lo.acquire(v, types.ExprString(sel.X), sel.Sel.Name == "TryRLock", acqTry, call.Pos(), held)
+				return
+			}
+		case "Unlock", "RUnlock":
+			if v := lo.mutexOf(sel.X); v != nil {
+				release(v, types.ExprString(sel.X), held)
+				return
+			}
+		}
+	}
+	if callee := lo.calleeDecl(call); callee != nil {
+		for v, mode := range lo.summary(callee) {
+			for _, h := range *held {
+				if h.v == v {
+					if mode == acqBlock {
+						lo.pass.Reportf(call.Pos(),
+							"call acquires %s while an instance of it is already held here; without a deterministic instance order this deadlocks (same instance would self-deadlock)",
+							lo.name(v))
+					}
+					continue
+				}
+				lo.addEdge(h.v, v, mode == acqBlock, call.Pos())
+			}
+		}
+	}
+}
+
+func cloneHeld(h []heldLock) []heldLock {
+	return append([]heldLock(nil), h...)
+}
+
+// reportCycles finds cycles among the blocking edges — every edge in
+// the cycle waits, so the cycle is a reachable deadlock — and
+// reports each once, at its lexically first edge.
+func (lo *lockOrder) reportCycles() {
+	next := make(map[*types.Var][]*lockEdge)
+	var nodes []*types.Var
+	seenNode := make(map[*types.Var]bool)
+	for _, e := range lo.edges {
+		if !e.blocking {
+			continue
+		}
+		next[e.from] = append(next[e.from], e)
+		for _, v := range []*types.Var{e.from, e.to} {
+			if !seenNode[v] {
+				seenNode[v] = true
+				nodes = append(nodes, v)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return lo.name(nodes[i]) < lo.name(nodes[j]) })
+	for _, es := range next {
+		sort.Slice(es, func(i, j int) bool { return es[i].pos < es[j].pos })
+	}
+	reported := make(map[string]bool)
+	for _, start := range nodes {
+		path := []*lockEdge{}
+		onPath := map[*types.Var]bool{start: true}
+		var dfs func(v *types.Var)
+		dfs = func(v *types.Var) {
+			for _, e := range next[v] {
+				if e.to == start && len(path) >= 1 {
+					cycle := append(append([]*lockEdge(nil), path...), e)
+					lo.reportCycle(cycle, reported)
+					continue
+				}
+				if onPath[e.to] {
+					continue
+				}
+				onPath[e.to] = true
+				path = append(path, e)
+				dfs(e.to)
+				path = path[:len(path)-1]
+				delete(onPath, e.to)
+			}
+		}
+		dfs(start)
+	}
+}
+
+func (lo *lockOrder) reportCycle(cycle []*lockEdge, reported map[string]bool) {
+	names := make([]string, 0, len(cycle)+1)
+	first := cycle[0]
+	for _, e := range cycle {
+		names = append(names, lo.name(e.from))
+		if e.pos < first.pos {
+			first = e
+		}
+	}
+	sort.Strings(names)
+	key := strings.Join(names, "→")
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+	// Present the cycle starting from the reported edge.
+	var order []string
+	idx := 0
+	for i, e := range cycle {
+		if e == first {
+			idx = i
+			break
+		}
+	}
+	for i := 0; i <= len(cycle); i++ {
+		order = append(order, lo.name(cycle[(idx+i)%len(cycle)].from))
+	}
+	lo.pass.Reportf(first.pos,
+		"lock-acquisition cycle %s: every edge blocks, so two goroutines entering from different sides deadlock; break the cycle or declare the order with //lint:lockorder",
+		strings.Join(order, " → "))
+}
+
+// checkDeclarations parses the //lint:lockorder markers, validates
+// them (resolvable, reasoned, acyclic, load-bearing) and checks every
+// observed blocking edge against the declared order.
+func (lo *lockOrder) checkDeclarations() {
+	decls := lo.collectDeclarations()
+	if len(decls) == 0 {
+		return
+	}
+	// Declared order must itself be a DAG.
+	adj := make(map[*types.Var][]*types.Var)
+	for _, d := range decls {
+		if d.before != nil && d.after != nil {
+			adj[d.before] = append(adj[d.before], d.after)
+		}
+	}
+	for _, d := range decls {
+		if d.before == nil || d.after == nil {
+			continue
+		}
+		if reaches(adj, d.after, d.before) {
+			lo.pass.ReportMarkerf(posOf(lo.pass, d.pos), d.text,
+				"declared lock order is cyclic: %s before %s joins a declaration chain that already orders them the other way",
+				lo.name(d.before), lo.name(d.after))
+		}
+	}
+	for _, e := range lo.edges {
+		for _, d := range decls {
+			if d.before == nil || d.after == nil {
+				continue
+			}
+			touches := (e.from == d.before && e.to == d.after) || (e.from == d.after && e.to == d.before)
+			if touches {
+				d.used = true
+			}
+			if e.blocking && e.from == d.after && e.to == d.before {
+				lo.pass.Reportf(e.pos,
+					"%s is acquired while %s is held, contradicting the declared order %q",
+					lo.name(d.before), lo.name(d.after), d.text)
+			}
+		}
+	}
+	for _, d := range decls {
+		switch {
+		case d.before == nil || d.after == nil:
+			// already reported by collectDeclarations
+		case d.reason == "":
+			lo.pass.ReportMarkerf(posOf(lo.pass, d.pos), d.text,
+				"lockorder declaration needs a justification (//lint:lockorder before %s <why>)", lo.name(d.after))
+		case !d.used:
+			lo.pass.ReportMarkerf(posOf(lo.pass, d.pos), d.text,
+				"lockorder declaration matches no observed acquisition and must be removed (markers have to be load-bearing)")
+		}
+	}
+}
+
+// collectDeclarations finds //lint:lockorder markers and binds each
+// to the lockable field or var declared on the marker's line or the
+// line below.
+func (lo *lockOrder) collectDeclarations() []*lockDecl {
+	var out []*lockDecl
+	for _, f := range lo.pass.Files {
+		if isTestFile(lo.pass.Fset, f.Pos()) {
+			continue
+		}
+		var markers []*lockDecl
+		byLine := make(map[string]map[int]*types.Var) // file → line → mutex declared there
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//lint:lockorder") {
+					continue
+				}
+				pos := lo.pass.Fset.Position(c.Pos())
+				m := lockOrderMarkerRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					lo.pass.Reportf(c.Pos(),
+						"malformed lockorder marker: want //lint:lockorder before <Type.field|field> <why>")
+					continue
+				}
+				markers = append(markers, &lockDecl{
+					pos:    pos,
+					reason: strings.TrimSpace(m[2]),
+					text:   strings.TrimSpace(strings.TrimPrefix(c.Text, "//")),
+				})
+				// target (m[1]) resolved below, once the owner is known
+			}
+		}
+		if len(markers) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					fv, ok := lo.pass.Info.Defs[name].(*types.Var)
+					if !ok || !isLockable(fv.Type()) {
+						continue
+					}
+					p := lo.pass.Fset.Position(name.Pos())
+					if byLine[p.Filename] == nil {
+						byLine[p.Filename] = make(map[int]*types.Var)
+					}
+					byLine[p.Filename][p.Line] = fv
+				}
+			}
+			return true
+		})
+		for _, d := range markers {
+			lines := byLine[d.pos.Filename]
+			v := lines[d.pos.Line]
+			if v == nil {
+				v = lines[d.pos.Line+1]
+			}
+			if v == nil {
+				lo.pass.Reportf(posOf(lo.pass, d.pos),
+					"lockorder marker is not attached to a mutex field (put it on the field's line or the line above)")
+				continue
+			}
+			d.before = v
+			m := lockOrderMarkerRe.FindStringSubmatch("//" + d.text)
+			d.after = lo.resolveLockName(v, m[1])
+			if d.after == nil {
+				lo.pass.Reportf(posOf(lo.pass, d.pos),
+					"cannot resolve lock %q in lockorder marker: no such mutex in this package", m[1])
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// resolveLockName turns "Type.field" (or "field", meaning a sibling
+// of the marker's own mutex) into the mutex var it names.
+func (lo *lockOrder) resolveLockName(self *types.Var, spec string) *types.Var {
+	typeName, fieldName := "", spec
+	if i := strings.IndexByte(spec, '.'); i >= 0 {
+		typeName, fieldName = spec[:i], spec[i+1:]
+	}
+	lookup := func(st *types.Struct) *types.Var {
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if f.Name() == fieldName && isLockable(f.Type()) {
+				return f
+			}
+		}
+		return nil
+	}
+	if typeName == "" {
+		// Sibling field of self's struct, or a package-level var.
+		for v, n := range lo.names {
+			if n == fieldName && v != self {
+				return v
+			}
+		}
+		for _, tn := range lo.structOf(self) {
+			if v := lookup(tn); v != nil {
+				return v
+			}
+		}
+		return nil
+	}
+	tn, ok := lo.pass.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	return lookup(st)
+}
+
+// structOf returns the struct(s) that contain the field var.
+func (lo *lockOrder) structOf(field *types.Var) []*types.Struct {
+	var out []*types.Struct
+	scope := lo.pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == field {
+				out = append(out, st)
+			}
+		}
+	}
+	return out
+}
+
+// reaches reports whether to is reachable from from in adj.
+func reaches(adj map[*types.Var][]*types.Var, from, to *types.Var) bool {
+	seen := map[*types.Var]bool{}
+	var dfs func(v *types.Var) bool
+	dfs = func(v *types.Var) bool {
+		if v == to {
+			return true
+		}
+		if seen[v] {
+			return false
+		}
+		seen[v] = true
+		for _, n := range adj[v] {
+			if dfs(n) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(from)
+}
+
+// posOf converts an already-resolved Position back to a Pos in the
+// pass's fileset for Reportf. Reportf re-resolves it, so findings at
+// marker positions carry the marker's own file:line.
+func posOf(pass *Pass, p token.Position) token.Pos {
+	var pos token.Pos
+	pass.Fset.Iterate(func(f *token.File) bool {
+		if f.Name() == p.Filename {
+			pos = f.LineStart(p.Line)
+			return false
+		}
+		return true
+	})
+	if pos == token.NoPos {
+		pos = token.Pos(1)
+	}
+	return pos
+}

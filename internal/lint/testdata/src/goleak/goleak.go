@@ -1,0 +1,188 @@
+// Package goleak fixes the analyzer's judgement on goroutine
+// lifetimes: loops with a provable shutdown signal pass, loops that
+// can only be abandoned are findings — including the exact
+// "prefetch ring outlives its client" shape the analyzer exists for.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// --- the canonical leak: a prefetch ring spawned by a constructor
+// with no way to stop it ---
+
+type Ring struct {
+	blocks chan []byte
+}
+
+func NewRing() *Ring {
+	r := &Ring{blocks: make(chan []byte, 2)}
+	go func() {
+		for { // want "loops forever with no shutdown path"
+			r.blocks <- make([]byte, 64)
+		}
+	}()
+	return r
+}
+
+// --- context cancellation: the repo's standard shape, passes ---
+
+func watch(ctx context.Context, out chan<- int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case out <- 1:
+			}
+		}
+	}()
+}
+
+// pollErr is the polling spelling of the same contract.
+func pollErr(ctx context.Context, tick func()) {
+	go func() {
+		for {
+			if ctx.Err() != nil {
+				return
+			}
+			tick()
+		}
+	}()
+}
+
+// --- done channel closed by a different struct's Close: the spawn
+// is in a constructor, the shutdown lives on the owner ---
+
+type worker struct {
+	done chan struct{}
+	n    int
+}
+
+type Owner struct {
+	w *worker
+}
+
+func NewOwner() *Owner {
+	w := &worker{done: make(chan struct{})}
+	go w.run()
+	return &Owner{w: w}
+}
+
+// run polls with a default case — legal, because the select still
+// carries the done signal.
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.done:
+			return
+		default:
+		}
+		w.n++
+	}
+}
+
+func (o *Owner) Close() {
+	close(o.w.done)
+}
+
+// --- select with only a default: a spin poll nothing can stop ---
+
+func spinPoll(n *int) {
+	go func() {
+		for { // want "loops forever with no shutdown path"
+			select {
+			default:
+			}
+			*n++
+		}
+	}()
+}
+
+// --- a quit channel handed in as a parameter of the spawned
+// function: closing it is the caller's documented duty ---
+
+func startPump(out chan<- int, quit chan struct{}) {
+	go pump(out, quit)
+}
+
+func pump(out chan<- int, quit chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		case out <- 1:
+		}
+	}
+}
+
+// --- ranging over channels: fine when library code closes the
+// channel, a leak when nothing ever will ---
+
+type Feeder struct {
+	chunks chan []byte
+	closed sync.Once
+}
+
+func (f *Feeder) drain(sink func([]byte)) {
+	go func() {
+		for b := range f.chunks {
+			sink(b)
+		}
+	}()
+}
+
+// Stop closes inside the Once's literal — the close scan must see
+// through function literals.
+func (f *Feeder) Stop() {
+	f.closed.Do(func() { close(f.chunks) })
+}
+
+func leakRange(events chan int, sink func(int)) {
+	go func() {
+		for e := range events { // want "ranges over a channel nothing in this package ever close"
+			sink(e)
+		}
+	}()
+}
+
+// --- bounded loops need no signal: they end on their own ---
+
+func fanOut(jobs []int, f func(int)) {
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < 3; r++ {
+				f(jobs[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// --- a ticker loop with no shutdown signal: <-t.C is a wakeup, not
+// an exit ---
+
+func tickForever(t *time.Ticker, f func()) {
+	go func() {
+		for { // want "loops forever with no shutdown path"
+			<-t.C
+			f()
+		}
+	}()
+}
+
+// --- process-lifetime daemons carry the justification in place ---
+
+func metricsPump(counter *int) {
+	go func() {
+		//lint:ignore goleak process-lifetime pump, intentionally runs until exit
+		for {
+			*counter++
+		}
+	}()
+}

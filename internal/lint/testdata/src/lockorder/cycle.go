@@ -1,0 +1,156 @@
+// Package lockorder fixes the analyzer's judgement on the repo's
+// locking shapes: real cycles and upgrades must be caught (by name),
+// and the deliberately lock-free-ish idioms — TryLock gangs,
+// deferred unlocks, *Locked helpers called under their lock — must
+// pass silently.
+package lockorder
+
+import "sync"
+
+// --- a real two-mutex cycle: the classic AB/BA deadlock ---
+
+type Account struct {
+	mu   sync.Mutex
+	peer *Ledger
+}
+
+type Ledger struct {
+	mu   sync.Mutex
+	back *Account
+}
+
+func (a *Account) Reconcile() {
+	a.mu.Lock()
+	a.peer.mu.Lock() // want "lock-acquisition cycle Account.mu → Ledger.mu → Account.mu"
+	a.peer.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func (l *Ledger) Audit() {
+	l.mu.Lock()
+	l.back.mu.Lock()
+	l.back.mu.Unlock()
+	l.mu.Unlock()
+}
+
+// --- the gang-refill idiom: TryLock on peers never blocks, so the
+// self-pair is not a deadlock and must not be a finding ---
+
+type Shard struct {
+	mu    sync.Mutex
+	next  *Shard
+	count int
+}
+
+func (s *Shard) refillNeighbour() {
+	if !s.mu.TryLock() {
+		return
+	}
+	defer s.mu.Unlock()
+	s.count++
+	if s.next.mu.TryLock() {
+		s.next.count++
+		s.next.mu.Unlock()
+	}
+}
+
+// deferredUnlock pins the defer idiom: the lock is held to the end,
+// and that alone is not a finding.
+func (s *Shard) deferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+}
+
+// --- multi-instance locking without a declared order ---
+
+func lockAll(shards []*Shard) {
+	for _, s := range shards {
+		s.mu.Lock() // want "another instance of Shard.mu is held"
+	}
+	for _, s := range shards {
+		s.mu.Unlock()
+	}
+}
+
+// lockAllBlessed is the same sweep with the pool's justification:
+// the suppression must silence it and count as load-bearing.
+func lockAllBlessed(shards []*Shard) {
+	for _, s := range shards {
+		//lint:ignore lockorder callers sort shards ascending before sweeping
+		s.mu.Lock()
+	}
+	for _, s := range shards {
+		s.mu.Unlock()
+	}
+}
+
+// --- RLock-then-Lock upgrade: self-deadlock once a writer queues ---
+
+type Cache struct {
+	mu sync.RWMutex
+	m  map[int]int
+}
+
+func (c *Cache) Upgrade(k int) {
+	c.mu.RLock()
+	if c.m[k] == 0 {
+		c.mu.Lock() // want "RLock-to-Lock upgrade on Cache.mu"
+		c.m[k] = 1
+		c.mu.Unlock()
+	}
+	c.mu.RUnlock()
+}
+
+// Reread releases before re-acquiring for write: the legal spelling,
+// no finding.
+func (c *Cache) Reread(k int) int {
+	c.mu.RLock()
+	v := c.m[k]
+	c.mu.RUnlock()
+	if v == 0 {
+		c.mu.Lock()
+		c.m[k] = 1
+		c.mu.Unlock()
+	}
+	return v
+}
+
+func (c *Cache) doubleLock() {
+	c.mu.Lock()
+	c.mu.Lock() // want "not reentrant"
+	c.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// --- inter-procedural: the edge hides inside a *Locked helper ---
+
+type Registry struct {
+	mu sync.Mutex
+	e  *Entry
+}
+
+type Entry struct {
+	mu  sync.Mutex
+	hot bool
+}
+
+func (r *Registry) Evict() {
+	r.mu.Lock()
+	r.evictLocked() // want "lock-acquisition cycle Registry.mu → Entry.mu → Registry.mu"
+	r.mu.Unlock()
+}
+
+func (r *Registry) evictLocked() {
+	r.e.mu.Lock()
+	r.e.hot = false
+	r.e.mu.Unlock()
+}
+
+func (e *Entry) Promote(r *Registry) {
+	e.mu.Lock()
+	r.mu.Lock()
+	e.hot = true
+	r.mu.Unlock()
+	e.mu.Unlock()
+}

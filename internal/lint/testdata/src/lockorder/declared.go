@@ -1,0 +1,88 @@
+package lockorder
+
+import "sync"
+
+// --- declared order, respected: the marker documents the DAG and
+// the observed edge matches it — no findings ---
+
+type Outer struct {
+	mu sync.Mutex //lint:lockorder before Inner.mu outer resolves the handle, then delegates under the inner lock
+	in *Inner
+}
+
+type Inner struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (o *Outer) Touch() {
+	o.mu.Lock()
+	o.in.mu.Lock()
+	o.in.n++
+	o.in.mu.Unlock()
+	o.mu.Unlock()
+}
+
+// --- declared order, violated: the reverse edge is a finding even
+// though no full cycle exists yet ---
+
+type Planner struct {
+	mu sync.Mutex //lint:lockorder before Queue.mu the planner schedules queues, never the reverse
+	q  *Queue
+}
+
+type Queue struct {
+	mu sync.Mutex
+	p  *Planner
+}
+
+func (q *Queue) Reschedule() {
+	q.mu.Lock()
+	q.p.mu.Lock() // want "Planner.mu is acquired while Queue.mu is held, contradicting the declared order"
+	q.p.mu.Unlock()
+	q.mu.Unlock()
+}
+
+// --- marker hygiene: unused, reasonless, unresolvable ---
+
+type Hygiene struct {
+	// wantbelow "matches no observed acquisition"
+	//lint:lockorder before Inner.mu never actually nested anywhere
+	idleMu sync.Mutex
+
+	// wantbelow "needs a justification"
+	//lint:lockorder before Inner.mu
+	bareMu sync.Mutex
+
+	// wantbelow "cannot resolve lock"
+	//lint:lockorder before Phantom.mu no such type in this package
+	lostMu sync.Mutex
+
+	// wantbelow "not attached to a mutex field"
+	//lint:lockorder before Inner.mu floats between fields
+
+	n int
+}
+
+// --- cyclic declarations: each marker joins a chain that orders the
+// pair both ways ---
+
+type Left struct {
+	// wantbelow "declared lock order is cyclic"
+	//lint:lockorder before Right.mu left coordinates right
+	mu sync.Mutex
+	r  *Right
+}
+
+type Right struct {
+	// wantbelow "declared lock order is cyclic"
+	//lint:lockorder before Left.mu right coordinates left
+	mu sync.Mutex
+}
+
+func (l *Left) Use() {
+	l.mu.Lock()
+	l.r.mu.Lock() // want "Right.mu is acquired while Left.mu is held, contradicting the declared order"
+	l.r.mu.Unlock()
+	l.mu.Unlock()
+}

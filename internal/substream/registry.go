@@ -93,7 +93,7 @@ type Registry struct {
 	now   func() time.Time
 	burst float64 // resolved bucket capacity in words
 
-	mu        sync.Mutex
+	mu        sync.Mutex         //lint:lockorder before tenant.mu resolution and LRU eviction take the registry lock first, then park each tenant under its own; draws that find their tenant evicted drop tenant.mu before re-resolving
 	resident  map[string]*tenant // guarded by mu
 	parked    map[string]*parked // guarded by mu
 	lru       *list.List         // resident tenants, most recent at front; guarded by mu

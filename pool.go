@@ -803,6 +803,7 @@ func fillShardGroup(shards []*poolShard, segs [][]uint64) (failed [][]uint64) {
 	)
 	n := 0
 	for i, s := range shards {
+		//lint:ignore lockorder ascending shard-index order: every group sorts before locking, so sweeps can never meet in opposite orders
 		s.mu.Lock()
 		if shardState(s.state.Load()) != shardHealthy {
 			s.mu.Unlock()
